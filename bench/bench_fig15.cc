@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Figure 15: program fidelity and pulse duration under depolarizing
+ * noise (Section 6.7). Baseline: TKet-like + SABRE with conventional
+ * CNOT pulses; ReQISC: Full + mirroring-SABRE with genAshN pulses.
+ * Noise: depolarizing after every 2Q gate with p = p0 * tau / tau0,
+ * p0 = 0.001, tau0 = pi / sqrt(2) g, evaluated by exact density-
+ * matrix simulation; fidelity is Hellinger vs the ideal distribution.
+ */
+
+#include <cmath>
+
+#include "common.hh"
+#include "circuit/lower.hh"
+#include "compiler/baselines.hh"
+#include "uarch/duration.hh"
+#include "compiler/metrics.hh"
+#include "compiler/pipeline.hh"
+#include "qsim/density.hh"
+#include "qsim/statevector.hh"
+#include "route/sabre.hh"
+#include "suite/suite.hh"
+#include "weyl/weyl.hh"
+
+using namespace reqisc;
+using namespace reqisc::benchtool;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::Op;
+
+namespace
+{
+
+Circuit
+swapsToCan(const Circuit &c)
+{
+    Circuit out(c.numQubits());
+    for (const Gate &g : c) {
+        if (g.op == Op::SWAP)
+            out.add(Gate::can(g.qubits[0], g.qubits[1],
+                              weyl::WeylCoord::swap()));
+        else
+            out.add(g);
+    }
+    return out;
+}
+
+Circuit
+swapsToCx(const Circuit &c)
+{
+    Circuit out(c.numQubits());
+    for (const Gate &g : c) {
+        if (g.op == Op::SWAP) {
+            out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+            out.add(Gate::cx(g.qubits[1], g.qubits[0]));
+            out.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        } else {
+            out.add(g);
+        }
+    }
+    return out;
+}
+
+/** Ideal output distribution with wires restored to logical order. */
+std::vector<double>
+idealDistribution(const Circuit &c)
+{
+    qsim::StateVector sv(c.numQubits());
+    sv.applyCircuit(c);
+    return sv.probabilities();
+}
+
+/** Map a physical-run distribution back to logical wire order. */
+std::vector<double>
+logicalOrder(const std::vector<double> &p, int n,
+             const std::vector<int> &initial,
+             const std::vector<int> &final_layout)
+{
+    // Logical q's bit sits on wire final_layout[q]; marginalize the
+    // non-logical wires away is unnecessary since they stay |0>.
+    std::vector<double> out(p.size(), 0.0);
+    const int nl = static_cast<int>(final_layout.size());
+    (void)initial;
+    for (size_t idx = 0; idx < p.size(); ++idx) {
+        size_t lidx = 0;
+        for (int q = 0; q < nl; ++q) {
+            const int bit =
+                (idx >> (n - 1 - final_layout[q])) & 1;
+            if (bit)
+                lidx |= static_cast<size_t>(1) << (n - 1 - q);
+        }
+        out[lidx] += p[idx];
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    const double p0 = 0.001;
+    const double tau0 = uarch::conventionalCnotDuration(1.0);
+    auto conv = compiler::conventionalDurationModel(1.0);
+    auto rq = compiler::reqiscDurationModel(uarch::Coupling::xy(1.0));
+
+    auto suite = suite::smallSuite();
+
+    for (const char *device : {"logical", "chain", "grid"}) {
+        Table table(std::string("Figure 15 (") + device +
+                        "): fidelity F and pulse duration T",
+                    {"Benchmark", "F base", "F ReQISC", "T base",
+                     "T ReQISC", "err. red.", "speedup"});
+        double err_base_acc = 0.0, err_rq_acc = 0.0;
+        double t_base_acc = 0.0, t_rq_acc = 0.0;
+        int n_rows = 0;
+        for (const auto &bm_in : suite) {
+            if (!opt.full && bm_in.circuit.numQubits() > 8)
+                continue;
+            // Fixed input-preparation layer: programs like QFT map
+            // |0..0> to a uniform distribution, which Hellinger
+            // fidelity cannot distinguish from the depolarized one;
+            // a generic product input removes the degeneracy.
+            suite::Benchmark bm = bm_in;
+            {
+                Circuit prep(bm_in.circuit.numQubits());
+                for (int q = 0; q < prep.numQubits(); ++q)
+                    prep.add(Gate::ry(q, 0.4 + 0.13 * q));
+                prep.append(bm_in.circuit);
+                bm.circuit = std::move(prep);
+            }
+            // Ideal distribution of the program itself.
+            Circuit ref = circuit::lowerToCnot(bm.circuit);
+            auto ideal = idealDistribution(ref);
+
+            // Baseline flow.
+            Circuit base_logic = compiler::tketLike(bm.circuit);
+            Circuit base_phys = base_logic;
+            std::vector<int> base_layout;  // empty = identity
+            // ReQISC flow: the mirroring pass reports that logical q
+            // ends on compiled wire perm[q]; routing then moves
+            // compiled wire w to physical wire finalLayout[w]; the
+            // composition maps logical q to its output wire.
+            compiler::CompileResult full =
+                compiler::reqiscFull(bm.circuit);
+            Circuit rq_phys = full.circuit;
+            std::vector<int> rq_layout = full.finalPermutation;
+
+            if (std::string(device) != "logical") {
+                const int n = bm.circuit.numQubits();
+                route::Topology topo =
+                    std::string(device) == "chain"
+                        ? route::Topology::chain(n)
+                        : route::Topology::gridFor(n);
+                route::RouteOptions ropts;
+                route::RouteResult rb =
+                    route::sabreRoute(base_logic, topo, ropts);
+                base_phys = swapsToCx(rb.circuit);
+                base_layout = rb.finalLayout;
+
+                route::RouteOptions mopts;
+                mopts.mirroring = true;
+                route::RouteResult rr =
+                    route::sabreRoute(full.circuit, topo, mopts);
+                rq_phys = swapsToCan(rr.circuit);
+                rq_layout.assign(n, 0);
+                for (int q = 0; q < n; ++q)
+                    rq_layout[q] =
+                        rr.finalLayout[full.finalPermutation[q]];
+            }
+            // Note: the routers' initial layouts permute only the
+            // all-zero input, so they need no correction here.
+
+            // Noisy runs.
+            auto run = [&](const Circuit &c,
+                           const std::function<double(
+                               const Gate &)> &model,
+                           const std::vector<int> &final_layout) {
+                auto p = qsim::simulateNoisy(c, model, p0, tau0);
+                if (final_layout.empty())
+                    return p;
+                return logicalOrder(p, c.numQubits(), {},
+                                    final_layout);
+            };
+            auto pad = [&](const std::vector<double> &p, size_t dim) {
+                // After logicalOrder the logical values occupy the
+                // top bits and the spare device wires stay |0>, so
+                // projecting = dropping the low bits.
+                if (p.size() == dim)
+                    return p;
+                int shift = 0;
+                while ((dim << shift) < p.size())
+                    ++shift;
+                std::vector<double> out(dim, 0.0);
+                for (size_t i = 0; i < p.size(); ++i)
+                    out[i >> shift] += p[i];
+                return out;
+            };
+            auto pb = run(base_phys, conv, base_layout);
+            auto pr = run(rq_phys, rq, rq_layout);
+            const size_t dim = ideal.size();
+            const double fb =
+                qsim::hellingerFidelity(ideal, pad(pb, dim));
+            const double fr =
+                qsim::hellingerFidelity(ideal, pad(pr, dim));
+            const double tb = circuit::criticalPathDuration(
+                base_phys, conv);
+            const double tr = circuit::criticalPathDuration(
+                rq_phys, rq);
+            const double err_red =
+                (1.0 - fb) / std::max(1e-9, 1.0 - fr);
+            err_base_acc += 1.0 - fb;
+            err_rq_acc += 1.0 - fr;
+            t_base_acc += tb;
+            t_rq_acc += tr;
+            ++n_rows;
+            table.addRow({bm.name, fmt(fb, 4), fmt(fr, 4),
+                          fmt(tb, 1), fmt(tr, 1),
+                          fmt(err_red, 2) + "x",
+                          fmt(tb / tr, 2) + "x"});
+        }
+        // Aggregate ratios (sum of errors / durations) are robust
+        // against near-unit per-benchmark fidelities.
+        table.addRow({"aggregate", "-", "-", "-", "-",
+                      fmt(err_base_acc /
+                              std::max(1e-12, err_rq_acc), 2) + "x",
+                      fmt(t_base_acc / std::max(1e-12, t_rq_acc), 2) +
+                          "x"});
+        table.print(opt.csv);
+    }
+    return 0;
+}

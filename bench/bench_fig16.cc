@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 16: (a) compilation error — circuit infidelity between the
+ * compiled output and the input unitary — and (b) compilation
+ * latency, for every compiler on the small benchmark set.
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "common.hh"
+#include "circuit/lower.hh"
+#include "compiler/baselines.hh"
+#include "uarch/duration.hh"
+#include "compiler/pipeline.hh"
+#include "qsim/statevector.hh"
+#include "suite/suite.hh"
+
+using namespace reqisc;
+using namespace reqisc::benchtool;
+using circuit::Circuit;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    auto suite = suite::smallSuite();
+
+    Table terr("Figure 16(a): compilation error (circuit "
+               "infidelity vs input)",
+               {"Benchmark", "Qiskit", "TKet", "BQSKit", "Eff",
+                "Full"});
+    Table tlat("Figure 16(b): compilation latency (ms)",
+               {"Benchmark", "#2Q in", "Qiskit", "TKet", "BQSKit",
+                "Eff", "Full"});
+
+    for (const auto &bm : suite) {
+        if (bm.circuit.numQubits() > (opt.full ? 9 : 8))
+            continue;
+        const qmath::Matrix ref = qsim::buildUnitary(
+            circuit::lowerToCnot(bm.circuit));
+        std::vector<std::string> erow = {bm.name};
+        std::vector<std::string> lrow = {
+            bm.name,
+            std::to_string(
+                compiler::lowerToCnot3(bm.circuit).count2Q())};
+
+        auto evalPlain = [&](Circuit (*fn)(const Circuit &)) {
+            auto t0 = Clock::now();
+            Circuit out = fn(bm.circuit);
+            const double ms = msSince(t0);
+            const double err = qmath::traceInfidelity(
+                ref, qsim::buildUnitary(out));
+            erow.push_back(fmt(std::max(err, 1e-16), 12));
+            lrow.push_back(fmt(ms, 1));
+        };
+        evalPlain(&compiler::qiskitLike);
+        evalPlain(&compiler::tketLike);
+        evalPlain(&compiler::bqskitLike);
+
+        auto evalReqisc = [&](bool full_pipeline) {
+            auto t0 = Clock::now();
+            compiler::CompileResult r =
+                full_pipeline ? compiler::reqiscFull(bm.circuit)
+                              : compiler::reqiscEff(bm.circuit);
+            const double ms = msSince(t0);
+            const double err = qmath::traceInfidelity(
+                ref, qsim::buildUnitaryWithPermutation(
+                         r.circuit, r.finalPermutation));
+            erow.push_back(fmt(std::max(err, 1e-16), 12));
+            lrow.push_back(fmt(ms, 1));
+        };
+        evalReqisc(false);
+        evalReqisc(true);
+        terr.addRow(erow);
+        tlat.addRow(lrow);
+    }
+    terr.print(opt.csv);
+    tlat.print(opt.csv);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark microkernels for the hot numerical paths: KAK
+ * decomposition, genAshN pulse solving per subscheme, 4x4 Hermitian
+ * exponentials and one QFactor instantiation sweep. These throughput
+ * numbers bound the compiler's scalability (Fig 16(b)).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qmath/expm.hh"
+#include "qmath/random.hh"
+#include "synth/instantiate.hh"
+#include "uarch/genashn.hh"
+#include "weyl/weyl.hh"
+
+using namespace reqisc;
+
+static void
+BM_KakDecompose(benchmark::State &state)
+{
+    qmath::Rng rng(1);
+    std::vector<qmath::Matrix> us;
+    for (int i = 0; i < 64; ++i)
+        us.push_back(qmath::randomUnitary(4, rng));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            weyl::kakDecompose(us[i++ % us.size()]));
+    }
+}
+BENCHMARK(BM_KakDecompose);
+
+static void
+BM_Expm4x4(benchmark::State &state)
+{
+    qmath::Rng rng(2);
+    qmath::Matrix h = qmath::randomHermitian(4, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(qmath::expim(h, 0.7));
+}
+BENCHMARK(BM_Expm4x4);
+
+static void
+BM_GenAshNSolveNd(benchmark::State &state)
+{
+    uarch::GateScheme scheme(uarch::Coupling::xy(1.0));
+    const weyl::WeylCoord c = weyl::WeylCoord::cnot();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.solveCoord(c));
+}
+BENCHMARK(BM_GenAshNSolveNd);
+
+static void
+BM_GenAshNSolveEa(benchmark::State &state)
+{
+    uarch::GateScheme scheme(uarch::Coupling::xy(1.0));
+    const weyl::WeylCoord c = weyl::WeylCoord::swap();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.solveCoord(c));
+}
+BENCHMARK(BM_GenAshNSolveEa);
+
+static void
+BM_InstantiateTwoQubit(benchmark::State &state)
+{
+    qmath::Rng rng(3);
+    qmath::Matrix target = qmath::randomUnitary(4, rng);
+    std::vector<synth::Slot> slots = {synth::Slot::free2Q(0, 1)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            synth::instantiate(target, 2, slots));
+}
+BENCHMARK(BM_InstantiateTwoQubit);
+
+static void
+BM_OptimalDuration(benchmark::State &state)
+{
+    qmath::Rng rng(4);
+    const uarch::Coupling xy = uarch::Coupling::xy(1.0);
+    std::vector<weyl::WeylCoord> coords;
+    for (int i = 0; i < 256; ++i)
+        coords.push_back(weyl::randomWeylCoord(rng));
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            uarch::optimalDuration(xy, coords[i++ % coords.size()]));
+}
+BENCHMARK(BM_OptimalDuration);
+
+BENCHMARK_MAIN();

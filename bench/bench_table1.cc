@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1: benchmark-suite characteristics — qubit count, #2Q, 2Q
+ * depth and circuit duration ranges per category, computed on the
+ * CNOT-lowered circuits with the conventional baseline pulse
+ * (tau_CNOT = pi / sqrt(2) g).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "common.hh"
+#include "compiler/baselines.hh"
+#include "compiler/metrics.hh"
+#include "suite/suite.hh"
+
+using namespace reqisc;
+using namespace reqisc::benchtool;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    auto suite = suite::standardSuite(opt.full);
+
+    struct Range
+    {
+        int count = 0;
+        int qmin = 1 << 20, qmax = 0;
+        int gmin = 1 << 20, gmax = 0;
+        int dmin = 1 << 20, dmax = 0;
+        double tmin = 1e18, tmax = 0.0;
+    };
+    std::map<std::string, Range> rows;
+    auto model = compiler::conventionalDurationModel(1.0);
+    for (const auto &bm : suite) {
+        circuit::Circuit low = compiler::lowerToCnot3(bm.circuit);
+        compiler::Metrics m = compiler::evaluate(low, model);
+        Range &r = rows[bm.category];
+        ++r.count;
+        r.qmin = std::min(r.qmin, bm.circuit.numQubits());
+        r.qmax = std::max(r.qmax, bm.circuit.numQubits());
+        r.gmin = std::min(r.gmin, m.count2Q);
+        r.gmax = std::max(r.gmax, m.count2Q);
+        r.dmin = std::min(r.dmin, m.depth2Q);
+        r.dmax = std::max(r.dmax, m.depth2Q);
+        r.tmin = std::min(r.tmin, m.duration);
+        r.tmax = std::max(r.tmax, m.duration);
+    }
+
+    Table table("Table 1: benchmark suite characteristics "
+                "(CNOT-lowered, duration in 1/g)",
+                {"Category", "#", "#Qubit", "#2Q", "Depth2Q",
+                 "Duration T"});
+    auto rangeStr = [](int lo, int hi) {
+        return lo == hi ? std::to_string(lo)
+                        : std::to_string(lo) + "-" +
+                              std::to_string(hi);
+    };
+    for (const auto &[cat, r] : rows) {
+        table.addRow({cat, std::to_string(r.count),
+                      rangeStr(r.qmin, r.qmax),
+                      rangeStr(r.gmin, r.gmax),
+                      rangeStr(r.dmin, r.dmax),
+                      fmt(r.tmin, 1) + "-" + fmt(r.tmax, 1)});
+    }
+    table.print(opt.csv);
+    return 0;
+}

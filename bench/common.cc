@@ -1,0 +1,94 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace reqisc::benchtool
+{
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            opt.full = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opt.csv = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opt.seed = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr, "note: ignoring unknown flag '%s'\n",
+                         argv[i]);
+        }
+    }
+    return opt;
+}
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header))
+{
+}
+
+void
+Table::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(cells);
+}
+
+void
+Table::print(bool csv) const
+{
+    if (csv) {
+        std::printf("# %s\n", title_.c_str());
+        for (size_t j = 0; j < header_.size(); ++j)
+            std::printf("%s%s", header_[j].c_str(),
+                        j + 1 < header_.size() ? "," : "\n");
+        for (const auto &row : rows_)
+            for (size_t j = 0; j < row.size(); ++j)
+                std::printf("%s%s", row[j].c_str(),
+                            j + 1 < row.size() ? "," : "\n");
+        return;
+    }
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t j = 0; j < header_.size(); ++j)
+        width[j] = header_[j].size();
+    for (const auto &row : rows_)
+        for (size_t j = 0; j < row.size() && j < width.size(); ++j)
+            width[j] = std::max(width[j], row[j].size());
+
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto prow = [&](const std::vector<std::string> &cells) {
+        for (size_t j = 0; j < cells.size(); ++j)
+            std::printf("%-*s  ", static_cast<int>(width[j]),
+                        cells[j].c_str());
+        std::printf("\n");
+    };
+    prow(header_);
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        prow(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+    return buf;
+}
+
+} // namespace reqisc::benchtool

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared table-printing and CLI helpers for the bench harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper.  By
+ * default sizes/sample counts are reduced so the whole harness runs in
+ * minutes; pass --full for paper-scale runs and --csv for
+ * machine-readable output.
+ */
+
+#ifndef REQISC_BENCH_COMMON_HH
+#define REQISC_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+namespace reqisc::benchtool
+{
+
+/** Parsed command-line options shared by all bench binaries. */
+struct Options
+{
+    bool full = false;   //!< paper-scale sample counts
+    bool csv = false;    //!< emit CSV instead of aligned text
+    unsigned seed = 2026;
+};
+
+/** Parse the common flags; unknown flags are ignored with a warning. */
+Options parseOptions(int argc, char **argv);
+
+/** Simple aligned-text / CSV table writer. */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> header);
+
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Render to stdout (aligned text or CSV). */
+    void print(bool csv) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Format a percentage. */
+std::string pct(double v, int precision = 2);
+
+} // namespace reqisc::benchtool
+
+#endif // REQISC_BENCH_COMMON_HH

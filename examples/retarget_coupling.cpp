@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reconfigurability demo: the same compiled program retargeted to
+ * three different device Hamiltonians (XY transmons, XX trapped
+ * ions, and an arbitrary random coupling), with per-gate optimal
+ * durations and pulse parameters for each — no recompilation needed,
+ * only the microarchitecture solve changes.
+ *
+ * Build & run:  ./build/examples/example_retarget_coupling
+ */
+
+#include <cstdio>
+
+#include "compiler/pipeline.hh"
+#include "qmath/random.hh"
+#include "suite/suite.hh"
+#include "uarch/genashn.hh"
+
+using namespace reqisc;
+
+int
+main()
+{
+    suite::Benchmark bm = suite::makeQft(5);
+    compiler::CompileResult compiled =
+        compiler::reqiscFull(bm.circuit);
+    std::printf("Program: %s -> %d SU(4) instructions\n\n",
+                bm.name.c_str(), compiled.circuit.count2Q());
+
+    qmath::Rng rng(5);
+    struct Target
+    {
+        const char *name;
+        uarch::Coupling coupling;
+    };
+    const Target targets[] = {
+        {"XY (flux-tunable transmons)", uarch::Coupling::xy(1.0)},
+        {"XX (trapped ions)", uarch::Coupling::xx(1.0)},
+        {"random coupling", uarch::Coupling::random(rng)},
+    };
+
+    for (const Target &t : targets) {
+        uarch::GateScheme scheme(t.coupling);
+        double total = 0.0;
+        int solved = 0, gates = 0;
+        std::printf("--- %s (a=%.3f b=%.3f c=%.3f) ---\n", t.name,
+                    t.coupling.a, t.coupling.b, t.coupling.c);
+        for (const circuit::Gate &g : compiled.circuit) {
+            if (!g.is2Q())
+                continue;
+            ++gates;
+            uarch::PulseSolution s = scheme.solve(g.matrix());
+            if (!s.converged)
+                continue;
+            ++solved;
+            total += s.tau;
+            if (solved <= 3)
+                std::printf("  %-24s %s tau=%.4f A1=%+.3f "
+                            "A2=%+.3f delta=%+.3f\n",
+                            g.toString().c_str(),
+                            uarch::subSchemeName(s.scheme), s.tau,
+                            s.ampA1(), s.ampA2(), s.delta);
+        }
+        std::printf("  ... %d/%d gates solved, total pulse time "
+                    "%.3f / g\n\n",
+                    solved, gates, total);
+    }
+    return 0;
+}

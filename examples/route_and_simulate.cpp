@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Topology-aware compilation + noisy execution: compile a ripple-
+ * carry adder for a 1D chain with mirroring-SABRE, then compare the
+ * noisy output fidelity against the conventional CNOT flow under the
+ * paper's duration-scaled depolarizing model.
+ *
+ * Build & run:  ./build/examples/example_route_and_simulate
+ */
+
+#include <cstdio>
+
+#include "circuit/lower.hh"
+#include "compiler/baselines.hh"
+#include "uarch/duration.hh"
+#include "compiler/metrics.hh"
+#include "compiler/pipeline.hh"
+#include "qsim/density.hh"
+#include "qsim/statevector.hh"
+#include "route/sabre.hh"
+#include "suite/suite.hh"
+#include "weyl/weyl.hh"
+
+using namespace reqisc;
+using circuit::Circuit;
+using circuit::Gate;
+
+int
+main()
+{
+    suite::Benchmark bm = suite::makeRippleAdd(3);
+    const int n = bm.circuit.numQubits();
+    route::Topology topo = route::Topology::chain(n);
+
+    // Conventional flow: TKet-like + SABRE, SWAP = 3 CX.
+    Circuit base = compiler::tketLike(bm.circuit);
+    route::RouteResult rb = route::sabreRoute(base, topo);
+    Circuit base_phys(n);
+    for (const Gate &g : rb.circuit) {
+        if (g.op == circuit::Op::SWAP) {
+            base_phys.add(Gate::cx(g.qubits[0], g.qubits[1]));
+            base_phys.add(Gate::cx(g.qubits[1], g.qubits[0]));
+            base_phys.add(Gate::cx(g.qubits[0], g.qubits[1]));
+        } else {
+            base_phys.add(g);
+        }
+    }
+
+    // ReQISC flow: Full + mirroring-SABRE, SWAP = one Can gate.
+    compiler::CompileResult full = compiler::reqiscFull(bm.circuit);
+    route::RouteOptions mopts;
+    mopts.mirroring = true;
+    route::RouteResult rr =
+        route::sabreRoute(full.circuit, topo, mopts);
+    Circuit rq_phys(n);
+    for (const Gate &g : rr.circuit) {
+        if (g.op == circuit::Op::SWAP)
+            rq_phys.add(Gate::can(g.qubits[0], g.qubits[1],
+                                  weyl::WeylCoord::swap()));
+        else
+            rq_phys.add(g);
+    }
+
+    std::printf("Benchmark %s on a %d-qubit chain\n", bm.name.c_str(),
+                n);
+    std::printf("  conventional: %3d CX  (%d SWAPs inserted)\n",
+                base_phys.count2Q(), rb.swapsInserted);
+    std::printf("  ReQISC:       %3d SU4 (%d SWAPs inserted, "
+                "%d absorbed by mirroring)\n",
+                rq_phys.count2Q(), rr.swapsInserted,
+                rr.swapsAbsorbed);
+
+    // Noise model: depolarizing p = p0 * tau / tau0 per 2Q gate.
+    auto conv = compiler::conventionalDurationModel(1.0);
+    auto rq = compiler::reqiscDurationModel(uarch::Coupling::xy(1.0));
+    const double p0 = 0.001;
+    const double tau0 = uarch::conventionalCnotDuration(1.0);
+    auto noisy_base = qsim::simulateNoisy(base_phys, conv, p0, tau0);
+    auto noisy_rq = qsim::simulateNoisy(rq_phys, rq, p0, tau0);
+
+    // Ideal references (wires permuted back to logical order).
+    qsim::StateVector ideal_sv(n);
+    ideal_sv.applyCircuit(circuit::lowerToCnot(bm.circuit));
+    auto ideal = ideal_sv.probabilities();
+    auto undo = [&](std::vector<double> p,
+                    const std::vector<int> &final_layout) {
+        if (final_layout.empty())
+            return p;
+        std::vector<double> out(p.size(), 0.0);
+        for (size_t idx = 0; idx < p.size(); ++idx) {
+            size_t lidx = 0;
+            for (int q = 0; q < n; ++q) {
+                if ((idx >> (n - 1 - final_layout[q])) & 1)
+                    lidx |= static_cast<size_t>(1) << (n - 1 - q);
+            }
+            out[lidx] += p[idx];
+        }
+        return out;
+    };
+    std::vector<int> rq_layout(n);
+    for (int q = 0; q < n; ++q)
+        rq_layout[q] = rr.finalLayout[full.finalPermutation[q]];
+    const double fb = qsim::hellingerFidelity(
+        ideal, undo(noisy_base, rb.finalLayout));
+    const double fr = qsim::hellingerFidelity(
+        ideal, undo(noisy_rq, rq_layout));
+    std::printf("\nNoisy Hellinger fidelity: conventional %.4f vs "
+                "ReQISC %.4f (error reduced %.2fx)\n",
+                fb, fr, (1.0 - fb) / (1.0 - fr));
+    return 0;
+}

@@ -1,0 +1,122 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace reqisc::circuit
+{
+
+void
+Circuit::add(Gate g)
+{
+#ifndef NDEBUG
+    for (int q : g.qubits)
+        assert(q >= 0 && q < numQubits_);
+    for (size_t i = 0; i < g.qubits.size(); ++i)
+        for (size_t j = i + 1; j < g.qubits.size(); ++j)
+            assert(g.qubits[i] != g.qubits[j]);
+#endif
+    gates_.push_back(std::move(g));
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    assert(other.numQubits() <= numQubits_);
+    for (const Gate &g : other.gates_)
+        add(g);
+}
+
+int
+Circuit::count2Q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.numQubits() >= 2)
+            ++n;
+    return n;
+}
+
+int
+Circuit::countOp(Op op) const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        if (g.op == op)
+            ++n;
+    return n;
+}
+
+int
+Circuit::depth2Q() const
+{
+    std::vector<int> frontier(numQubits_, 0);
+    int depth = 0;
+    for (const Gate &g : gates_) {
+        if (g.numQubits() < 2)
+            continue;
+        int level = 0;
+        for (int q : g.qubits)
+            level = std::max(level, frontier[q]);
+        ++level;
+        for (int q : g.qubits)
+            frontier[q] = level;
+        depth = std::max(depth, level);
+    }
+    return depth;
+}
+
+int
+Circuit::countDistinctSU4(double tol) const
+{
+    std::vector<weyl::WeylCoord> reps;
+    for (const Gate &g : gates_) {
+        if (!g.is2Q())
+            continue;
+        weyl::WeylCoord c = g.weylCoord();
+        bool found = false;
+        for (const auto &r : reps) {
+            if (r.approxEqual(c, tol)) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            reps.push_back(c);
+    }
+    return static_cast<int>(reps.size());
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << "circuit(" << numQubits_ << " qubits, " << gates_.size()
+       << " gates)\n";
+    for (const Gate &g : gates_)
+        os << "  " << g.toString() << "\n";
+    return os.str();
+}
+
+double
+criticalPathDuration(
+    const Circuit &c,
+    const std::function<double(const Gate &)> &gate_duration)
+{
+    std::vector<double> frontier(c.numQubits(), 0.0);
+    double total = 0.0;
+    for (const Gate &g : c) {
+        if (g.numQubits() < 2)
+            continue;
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, frontier[q]);
+        const double end = start + gate_duration(g);
+        for (int q : g.qubits)
+            frontier[q] = end;
+        total = std::max(total, end);
+    }
+    return total;
+}
+
+} // namespace reqisc::circuit

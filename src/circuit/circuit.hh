@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Circuit container and the metrics the paper's evaluation reports.
+ */
+
+#ifndef REQISC_CIRCUIT_CIRCUIT_HH
+#define REQISC_CIRCUIT_CIRCUIT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+
+namespace reqisc::circuit
+{
+
+/** An ordered list of gates on a fixed-size qubit register. */
+class Circuit
+{
+  public:
+    Circuit() : numQubits_(0) {}
+    explicit Circuit(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    const Gate &operator[](size_t i) const { return gates_[i]; }
+    Gate &operator[](size_t i) { return gates_[i]; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &gates() { return gates_; }
+
+    auto begin() const { return gates_.begin(); }
+    auto end() const { return gates_.end(); }
+
+    /** Append a gate (qubit indices validated in debug builds). */
+    void add(Gate g);
+
+    /** Append all gates of another circuit. */
+    void append(const Circuit &other);
+
+    /** Number of gates acting on >= 2 qubits. */
+    int count2Q() const;
+
+    /** Number of gates matching the given op. */
+    int countOp(Op op) const;
+
+    /**
+     * Two-qubit depth: longest chain of multi-qubit gates, computed
+     * with per-qubit frontiers (one-qubit gates are free).
+     */
+    int depth2Q() const;
+
+    /**
+     * Number of distinct SU(4) classes among the 2Q gates, clustering
+     * Weyl coordinates with the given tolerance. This is the paper's
+     * calibration-overhead metric (Fig 13).
+     */
+    int countDistinctSU4(double tol = 1e-6) const;
+
+    /** Pretty multi-line dump (one gate per line, QASM-like). */
+    std::string toString() const;
+
+  private:
+    int numQubits_;
+    std::vector<Gate> gates_;
+};
+
+/**
+ * Critical-path duration of the circuit given a per-gate duration
+ * model. One-qubit gates cost 0 (the paper's convention); each
+ * multi-qubit gate's cost comes from the callback.
+ */
+double criticalPathDuration(
+    const Circuit &c,
+    const std::function<double(const Gate &)> &gate_duration);
+
+} // namespace reqisc::circuit
+
+#endif // REQISC_CIRCUIT_CIRCUIT_HH

@@ -1,0 +1,51 @@
+#include "circuit/dag.hh"
+
+#include <algorithm>
+
+namespace reqisc::circuit
+{
+
+std::vector<int>
+Dag::roots() const
+{
+    std::vector<int> r;
+    for (size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].preds.empty())
+            r.push_back(static_cast<int>(i));
+    return r;
+}
+
+std::vector<int>
+Dag::leaves() const
+{
+    std::vector<int> r;
+    for (size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i].succs.empty())
+            r.push_back(static_cast<int>(i));
+    return r;
+}
+
+Dag
+buildDag(const Circuit &c)
+{
+    Dag dag;
+    dag.nodes.resize(c.size());
+    std::vector<int> last(c.numQubits(), -1);
+    for (size_t i = 0; i < c.size(); ++i) {
+        const Gate &g = c[static_cast<size_t>(i)];
+        for (int q : g.qubits) {
+            if (last[q] >= 0) {
+                auto &succs = dag.nodes[last[q]].succs;
+                if (std::find(succs.begin(), succs.end(),
+                              static_cast<int>(i)) == succs.end()) {
+                    succs.push_back(static_cast<int>(i));
+                    dag.nodes[i].preds.push_back(last[q]);
+                }
+            }
+            last[q] = static_cast<int>(i);
+        }
+    }
+    return dag;
+}
+
+} // namespace reqisc::circuit

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dependency-DAG view of a circuit.
+ *
+ * Gates are nodes; an edge connects two gates that share a qubit with
+ * no intervening gate on that qubit. Used by the partitioners, the DAG
+ * compacting pass and the SABRE routers.
+ */
+
+#ifndef REQISC_CIRCUIT_DAG_HH
+#define REQISC_CIRCUIT_DAG_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::circuit
+{
+
+/** One node per gate, indexed like the source circuit. */
+struct DagNode
+{
+    std::vector<int> preds;
+    std::vector<int> succs;
+};
+
+/** The full dependency graph of a circuit. */
+struct Dag
+{
+    std::vector<DagNode> nodes;
+
+    /** Gates with no predecessors. */
+    std::vector<int> roots() const;
+
+    /** Gates with no successors. */
+    std::vector<int> leaves() const;
+};
+
+/** Build the dependency DAG (last-writer-per-qubit edges). */
+Dag buildDag(const Circuit &c);
+
+} // namespace reqisc::circuit
+
+#endif // REQISC_CIRCUIT_DAG_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Gate-level IR: the operations the ReQISC stack manipulates.
+ *
+ * Three layers of abstraction share this type:
+ *  - high-level program IR (CCX / MCX / CSWAP and friends),
+ *  - the conventional CNOT ISA ({CX, 1Q gates}),
+ *  - the SU(4) ISA ({Can(x,y,z), U3} plus opaque fused U4 blocks).
+ *
+ * Qubit-ordering convention: the first qubit listed in a gate is the
+ * most significant index of its matrix (matching kron(A, B) with A on
+ * the first qubit).
+ */
+
+#ifndef REQISC_CIRCUIT_GATE_HH
+#define REQISC_CIRCUIT_GATE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmath/matrix.hh"
+#include "weyl/weyl.hh"
+
+namespace reqisc::circuit
+{
+
+using qmath::Complex;
+using qmath::Matrix;
+
+/** Operation codes. */
+enum class Op
+{
+    // One-qubit gates.
+    I, X, Y, Z, H, S, Sdg, T, Tdg, SX, RX, RY, RZ, U3,
+    // Two-qubit gates.
+    CX, CY, CZ, SWAP, ISWAP, SQISW, B, CP, RZZ, RXX, RYY,
+    CAN,   //!< canonical gate Can(x, y, z)
+    U4,    //!< opaque two-qubit unitary (fused block), carries a matrix
+    // Three-or-more-qubit gates (high-level IR).
+    CCX, CCZ, CSWAP, PERES, MCX,
+};
+
+/** @return a short lowercase mnemonic ("cx", "can", ...). */
+const char *opName(Op op);
+
+/** @return the number of parameters the op expects. */
+int opParamCount(Op op);
+
+/** A single gate instance. */
+struct Gate
+{
+    Op op = Op::I;
+    std::vector<int> qubits;
+    std::vector<double> params;
+    /** Matrix payload for Op::U4 (shared, immutable). */
+    std::shared_ptr<const Matrix> payload;
+
+    int numQubits() const { return static_cast<int>(qubits.size()); }
+    bool is1Q() const { return qubits.size() == 1; }
+    bool is2Q() const { return qubits.size() == 2; }
+
+    /**
+     * The unitary of this gate on its own qubits (dimension 2^k with
+     * the first listed qubit most significant).
+     */
+    Matrix matrix() const;
+
+    /** Weyl coordinate of a two-qubit gate. */
+    weyl::WeylCoord weylCoord() const;
+
+    std::string toString() const;
+
+    // ----- Factories ---------------------------------------------------
+    static Gate x(int q) { return simple(Op::X, q); }
+    static Gate y(int q) { return simple(Op::Y, q); }
+    static Gate z(int q) { return simple(Op::Z, q); }
+    static Gate h(int q) { return simple(Op::H, q); }
+    static Gate s(int q) { return simple(Op::S, q); }
+    static Gate sdg(int q) { return simple(Op::Sdg, q); }
+    static Gate t(int q) { return simple(Op::T, q); }
+    static Gate tdg(int q) { return simple(Op::Tdg, q); }
+    static Gate sx(int q) { return simple(Op::SX, q); }
+    static Gate rx(int q, double a);
+    static Gate ry(int q, double a);
+    static Gate rz(int q, double a);
+    static Gate u3(int q, double theta, double phi, double lambda);
+    static Gate cx(int c, int t);
+    static Gate cy(int c, int t);
+    static Gate cz(int c, int t);
+    static Gate swap(int a, int b);
+    static Gate iswap(int a, int b);
+    static Gate sqisw(int a, int b);
+    static Gate bgate(int a, int b);
+    static Gate cp(int c, int t, double a);
+    static Gate rzz(int a, int b, double t);
+    static Gate rxx(int a, int b, double t);
+    static Gate ryy(int a, int b, double t);
+    static Gate can(int a, int b, const weyl::WeylCoord &c);
+    static Gate u4(int a, int b, const Matrix &m);
+    static Gate ccx(int c1, int c2, int t);
+    static Gate ccz(int c1, int c2, int t);
+    static Gate cswap(int c, int a, int b);
+    static Gate peres(int c1, int c2, int t);
+    static Gate mcx(const std::vector<int> &controls, int target);
+
+  private:
+    static Gate simple(Op op, int q);
+};
+
+} // namespace reqisc::circuit
+
+#endif // REQISC_CIRCUIT_GATE_HH

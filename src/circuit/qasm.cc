@@ -1,0 +1,151 @@
+#include "circuit/qasm.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/lower.hh"
+
+namespace reqisc::circuit
+{
+
+namespace
+{
+
+/** Ops with a stable textual form (everything except U4). */
+const std::map<std::string, Op> &
+nameTable()
+{
+    static const std::map<std::string, Op> table = {
+        {"id", Op::I}, {"x", Op::X}, {"y", Op::Y}, {"z", Op::Z},
+        {"h", Op::H}, {"s", Op::S}, {"sdg", Op::Sdg}, {"t", Op::T},
+        {"tdg", Op::Tdg}, {"sx", Op::SX}, {"rx", Op::RX},
+        {"ry", Op::RY}, {"rz", Op::RZ}, {"u3", Op::U3},
+        {"cx", Op::CX}, {"cy", Op::CY}, {"cz", Op::CZ},
+        {"swap", Op::SWAP}, {"iswap", Op::ISWAP},
+        {"sqisw", Op::SQISW}, {"b", Op::B}, {"cp", Op::CP},
+        {"rzz", Op::RZZ}, {"rxx", Op::RXX}, {"ryy", Op::RYY},
+        {"can", Op::CAN}, {"ccx", Op::CCX}, {"ccz", Op::CCZ},
+        {"cswap", Op::CSWAP}, {"peres", Op::PERES},
+        {"mcx", Op::MCX},
+    };
+    return table;
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &input)
+{
+    // Expand opaque matrix payloads first so every line is textual.
+    bool has_u4 = false;
+    for (const Gate &g : input)
+        if (g.op == Op::U4)
+            has_u4 = true;
+    const Circuit c = has_u4 ? expandToCanU3(input) : input;
+
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "qreg q[" << c.numQubits() << "];\n";
+    os.precision(17);
+    for (const Gate &g : c) {
+        os << opName(g.op);
+        if (!g.params.empty()) {
+            os << "(";
+            for (size_t i = 0; i < g.params.size(); ++i)
+                os << (i ? "," : "") << g.params[i];
+            os << ")";
+        }
+        os << " ";
+        for (size_t i = 0; i < g.qubits.size(); ++i)
+            os << (i ? "," : "") << "q[" << g.qubits[i] << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+Circuit
+fromQasm(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    Circuit c;
+    int lineno = 0;
+    auto fail = [&](const std::string &msg) {
+        throw std::runtime_error("qasm parse error at line " +
+                                 std::to_string(lineno) + ": " + msg);
+    };
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Strip comments and whitespace.
+        const size_t comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        size_t begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos)
+            continue;
+        size_t end = line.find_last_not_of(" \t\r");
+        line = line.substr(begin, end - begin + 1);
+        if (line.empty() || line.rfind("OPENQASM", 0) == 0)
+            continue;
+        if (line.back() != ';')
+            fail("missing ';'");
+        line.pop_back();
+        if (line.rfind("qreg", 0) == 0) {
+            const size_t lb = line.find('[');
+            const size_t rb = line.find(']');
+            if (lb == std::string::npos || rb == std::string::npos)
+                fail("malformed qreg");
+            c = Circuit(std::stoi(line.substr(lb + 1, rb - lb - 1)));
+            continue;
+        }
+        // "<name>(p,..)? q[i],q[j],..."
+        size_t sp = line.find_first_of(" (");
+        if (sp == std::string::npos)
+            fail("malformed gate line");
+        const std::string name = line.substr(0, sp);
+        auto it = nameTable().find(name);
+        if (it == nameTable().end())
+            fail("unknown op '" + name + "'");
+        Gate g;
+        g.op = it->second;
+        size_t cursor = sp;
+        if (line[sp] == '(') {
+            const size_t close = line.find(')', sp);
+            if (close == std::string::npos)
+                fail("unterminated parameter list");
+            std::string params = line.substr(sp + 1, close - sp - 1);
+            std::istringstream ps(params);
+            std::string tok;
+            while (std::getline(ps, tok, ','))
+                g.params.push_back(std::stod(tok));
+            cursor = close + 1;
+        }
+        // Qubit operands.
+        std::string rest = line.substr(cursor);
+        size_t pos = 0;
+        while ((pos = rest.find("q[", pos)) != std::string::npos) {
+            const size_t rb = rest.find(']', pos);
+            if (rb == std::string::npos)
+                fail("unterminated qubit operand");
+            g.qubits.push_back(
+                std::stoi(rest.substr(pos + 2, rb - pos - 2)));
+            pos = rb + 1;
+        }
+        if (g.qubits.empty())
+            fail("gate with no qubits");
+        if (g.op != Op::MCX &&
+            opParamCount(g.op) !=
+                static_cast<int>(g.params.size()) &&
+            !(g.op == Op::CAN && g.params.size() == 3) &&
+            !(g.op == Op::U3 && g.params.size() == 3))
+            fail("wrong parameter count for '" + name + "'");
+        if (c.numQubits() == 0)
+            fail("gate before qreg declaration");
+        c.add(std::move(g));
+    }
+    return c;
+}
+
+} // namespace reqisc::circuit

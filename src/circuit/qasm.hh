@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual circuit serialization (OpenQASM-2-flavoured).
+ *
+ * The paper's artifact emits QASM for every compiled benchmark; this
+ * is the equivalent interchange path. All named ops round-trip;
+ * opaque U4 blocks are expanded into {Can, U3} before writing.
+ */
+
+#ifndef REQISC_CIRCUIT_QASM_HH
+#define REQISC_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::circuit
+{
+
+/** Serialize a circuit (U4 blocks are expanded to {Can, U3}). */
+std::string toQasm(const Circuit &c);
+
+/**
+ * Parse a circuit written by toQasm (or hand-written in the same
+ * dialect). Throws std::runtime_error on malformed input.
+ */
+Circuit fromQasm(const std::string &text);
+
+} // namespace reqisc::circuit
+
+#endif // REQISC_CIRCUIT_QASM_HH

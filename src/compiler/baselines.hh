@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Baseline compilers standing in for Qiskit O3, TKet and BQSKit
+ * (Section 6.1.2), plus their SU(4)-variant ablations (Fig 14).
+ *
+ * These reproduce the baselines' load-bearing mechanisms — 1Q fusion,
+ * CX cancellation, block consolidation + KAK re-synthesis, phase-
+ * gadget grouping, and partition + numeric re-synthesis — not their
+ * code; absolute reduction numbers differ from the papers' but the
+ * orderings that Table 2 / Fig 14 report are preserved.
+ */
+
+#ifndef REQISC_COMPILER_BASELINES_HH
+#define REQISC_COMPILER_BASELINES_HH
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::compiler
+{
+
+/** Qiskit-O3-like: peephole + consolidation, {CX, 1Q} output. */
+circuit::Circuit qiskitLike(const circuit::Circuit &input);
+
+/** TKet-like: PauliSimp-style grouping first, then the peephole. */
+circuit::Circuit tketLike(const circuit::Circuit &input);
+
+/** BQSKit-like: 3Q partition + numeric synthesis, {CX, 1Q} output. */
+circuit::Circuit bqskitLike(const circuit::Circuit &input);
+
+/** Qiskit-SU(4): qiskitLike then 2Q-block fusion into {Can, U3}. */
+circuit::Circuit qiskitSU4(const circuit::Circuit &input);
+
+/** TKet-SU(4): tketLike then 2Q-block fusion into {Can, U3}. */
+circuit::Circuit tketSU4(const circuit::Circuit &input);
+
+/** BQSKit-SU(4): partition + numeric synthesis over {Can, U3}. */
+circuit::Circuit bqskitSU4(const circuit::Circuit &input);
+
+/** Lower any circuit to the {CX, 1Q} ISA using <=3 CX per 2Q gate. */
+circuit::Circuit lowerToCnot3(const circuit::Circuit &input);
+
+} // namespace reqisc::compiler
+
+#endif // REQISC_COMPILER_BASELINES_HH

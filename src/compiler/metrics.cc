@@ -1,0 +1,61 @@
+#include "compiler/metrics.hh"
+
+#include "uarch/duration.hh"
+#include "weyl/weyl.hh"
+
+namespace reqisc::compiler
+{
+
+std::function<double(const circuit::Gate &)>
+conventionalDurationModel(double g)
+{
+    const double tau = uarch::conventionalCnotDuration(g);
+    return [tau](const circuit::Gate &gate) {
+        if (gate.numQubits() < 2)
+            return 0.0;
+        switch (gate.op) {
+          case circuit::Op::CX:
+          case circuit::Op::CZ:
+          case circuit::Op::CY:
+            return tau;
+          case circuit::Op::SWAP:
+            return 3.0 * tau;
+          default:
+            break;
+        }
+        // Anything else costs its minimal CX count.
+        const weyl::WeylCoord c = gate.weylCoord();
+        if (c.norm1() < 1e-9)
+            return 0.0;
+        if (c.approxEqual(weyl::WeylCoord::cnot(), 1e-9))
+            return tau;
+        if (std::abs(c.z) < 1e-9)
+            return 2.0 * tau;
+        return 3.0 * tau;
+    };
+}
+
+std::function<double(const circuit::Gate &)>
+reqiscDurationModel(const uarch::Coupling &cpl)
+{
+    return [cpl](const circuit::Gate &gate) {
+        if (gate.numQubits() < 2)
+            return 0.0;
+        return uarch::optimalDuration(cpl, gate.weylCoord());
+    };
+}
+
+Metrics
+evaluate(const circuit::Circuit &c,
+         const std::function<double(const circuit::Gate &)>
+             &duration_model)
+{
+    Metrics m;
+    m.count2Q = c.count2Q();
+    m.depth2Q = c.depth2Q();
+    m.duration = circuit::criticalPathDuration(c, duration_model);
+    m.distinctSU4 = c.countDistinctSU4();
+    return m;
+}
+
+} // namespace reqisc::compiler

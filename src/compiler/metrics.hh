@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Evaluation metrics (Section 6.1.1): #2Q, Depth2Q, pulse duration
+ * and distinct-SU(4) calibration count.
+ */
+
+#ifndef REQISC_COMPILER_METRICS_HH
+#define REQISC_COMPILER_METRICS_HH
+
+#include <functional>
+
+#include "circuit/circuit.hh"
+#include "uarch/coupling.hh"
+
+namespace reqisc::compiler
+{
+
+/** Circuit-level evaluation metrics. */
+struct Metrics
+{
+    int count2Q = 0;
+    int depth2Q = 0;
+    double duration = 0.0;   //!< critical-path pulse time (1/g units)
+    int distinctSU4 = 0;     //!< calibration-overhead proxy
+};
+
+/**
+ * Per-gate pulse duration model.
+ *
+ * - Conventional: every CX/CZ costs pi/(sqrt 2 g) (the baseline pulse
+ *   on XY-coupled transmons); other 2Q gates cost their minimal CX
+ *   count times that (3 for SWAP etc.).
+ * - ReQISC: every 2Q gate costs the genAshN optimal duration of its
+ *   Weyl coordinate under the given coupling.
+ */
+std::function<double(const circuit::Gate &)>
+conventionalDurationModel(double g = 1.0);
+
+std::function<double(const circuit::Gate &)>
+reqiscDurationModel(const uarch::Coupling &cpl);
+
+/** Evaluate all metrics with the given duration model. */
+Metrics evaluate(const circuit::Circuit &c,
+                 const std::function<double(const circuit::Gate &)>
+                     &duration_model);
+
+} // namespace reqisc::compiler
+
+#endif // REQISC_COMPILER_METRICS_HH

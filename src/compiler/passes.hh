@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Local circuit-optimization passes shared by the ReQISC pipelines
+ * and the baseline compilers.
+ */
+
+#ifndef REQISC_COMPILER_PASSES_HH
+#define REQISC_COMPILER_PASSES_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::compiler
+{
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::Op;
+using qmath::Matrix;
+
+/** Merge adjacent one-qubit gates into single U3s, drop identities. */
+Circuit fuse1Q(const Circuit &c);
+
+/**
+ * Fuse maximal same-pair runs of 2Q gates (with interleaved 1Q gates
+ * on the pair) into opaque U4 blocks — the first tier of hierarchical
+ * synthesis. Gates on >= 3 qubits act as barriers on their qubits.
+ */
+Circuit fuse2QBlocks(const Circuit &c);
+
+/** A topological 3-qubit partition block. */
+struct Partition3Q
+{
+    std::vector<int> qubits;       //!< 1..3 distinct qubits
+    std::vector<Gate> gates;       //!< block contents, in order
+    int count2Q = 0;
+};
+
+/**
+ * Greedy linear-time partitioning of a {U4/CAN/1Q} circuit into
+ * blocks spanning at most three qubits (second tier of hierarchical
+ * synthesis). Emitted in a dependency-respecting order.
+ */
+std::vector<Partition3Q> partition3Q(const Circuit &c);
+
+/** Reassemble partition blocks into a circuit. */
+Circuit blocksToCircuit(const std::vector<Partition3Q> &blocks,
+                        int num_qubits);
+
+/**
+ * Compactness score of a 2Q-gate sequence: the sum over consecutive
+ * multi-qubit gates of 0 (same pair), 1 (pairs sharing a qubit) or 2
+ * (disjoint pairs). Lower = more fusable / partition-friendly.
+ */
+int compactnessScore(const Circuit &c);
+
+/**
+ * DAG compacting (Section 5.1.3): exchange approximately commuting
+ * adjacent SU(4)s when doing so lowers the compactness score, using
+ * numeric re-instantiation of the swapped pair (parameters change,
+ * Figure 8).
+ *
+ * @param c circuit over {U4/CAN/1Q}
+ * @param tol accepted infidelity for an exchange
+ */
+Circuit dagCompact(const Circuit &c, double tol = 1e-9);
+
+/**
+ * Approximate synthesis over the 3Q partition: blocks with more than
+ * `m_th` 2Q gates are re-synthesized into fewer SU(4)s when possible
+ * (Section 5.1.2, threshold m_th = 4).
+ */
+Circuit hierarchicalSynthesis(const Circuit &c, int m_th = 4,
+                              double tol = 1e-9);
+
+/**
+ * Near-identity gate mirroring (Section 4.3). Every 2Q gate whose
+ * Weyl coordinate has L1 norm below `r` is composed with SWAP (its
+ * mirror) and the rewiring is tracked in the returned permutation:
+ * logical qubit q of the input ends on wire perm[q] of the output.
+ */
+Circuit mirrorNearIdentity(const Circuit &c, std::vector<int> &perm,
+                           double r = 0.1);
+
+/**
+ * Commutation-aware grouping of two-qubit Pauli rotations (the
+ * PHOENIX-style high-level pass for Type-II programs): diagonal
+ * rotations (RZZ/CP/RZ) commute freely and are bubbled toward
+ * same-pair neighbours so the 2Q fuser can merge them.
+ */
+Circuit groupPauliRotations(const Circuit &c);
+
+/** Cancel adjacent mutually-inverse CX pairs (baseline peephole). */
+Circuit cancelAdjacentCx(const Circuit &c);
+
+} // namespace reqisc::compiler
+
+#endif // REQISC_COMPILER_PASSES_HH

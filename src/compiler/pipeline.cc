@@ -1,0 +1,172 @@
+#include "compiler/pipeline.hh"
+
+#include <algorithm>
+
+#include "circuit/lower.hh"
+#include "compiler/passes.hh"
+#include "synth/instantiate.hh"
+#include "synth/synthesis.hh"
+#include "synth/templates.hh"
+
+namespace reqisc::compiler
+{
+
+circuit::Circuit
+templateSynthesis(const circuit::Circuit &c)
+{
+    auto &lib = synth::TemplateLibrary::instance();
+    Circuit out(c.numQubits());
+    // Track the last emitted 2Q pair for selective assembly.
+    std::pair<int, int> last_pair{-1, -1};
+    auto note = [&](const Gate &g) {
+        if (g.is2Q())
+            last_pair = std::minmax(g.qubits[0], g.qubits[1]);
+    };
+    for (const Gate &g : c) {
+        switch (g.op) {
+          case Op::CCX:
+          case Op::CCZ:
+          case Op::CSWAP:
+          case Op::PERES: {
+            // Map the preferred concrete pair into role indices.
+            std::pair<int, int> pref{-1, -1};
+            if (last_pair.first >= 0) {
+                int r1 = -1, r2 = -1;
+                for (int i = 0; i < 3; ++i) {
+                    if (g.qubits[i] == last_pair.first)
+                        r1 = i;
+                    if (g.qubits[i] == last_pair.second)
+                        r2 = i;
+                }
+                if (r1 >= 0 && r2 >= 0)
+                    pref = std::minmax(r1, r2);
+            }
+            const synth::TemplateEntry &e = lib.pick(g.op, pref);
+            for (const Gate &tg : e.gates) {
+                Gate mapped = tg;
+                for (int &q : mapped.qubits)
+                    q = g.qubits[q];
+                note(mapped);
+                out.add(std::move(mapped));
+            }
+            break;
+          }
+          default:
+            note(g);
+            out.add(g);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+CompileResult
+finishPipeline(Circuit c, const CompileOptions &opts)
+{
+    CompileResult res;
+    std::vector<int> perm(c.numQubits());
+    for (int q = 0; q < c.numQubits(); ++q)
+        perm[q] = q;
+    if (opts.applyMirroring && !opts.variationalMode)
+        c = mirrorNearIdentity(c, perm, opts.mirrorThreshold);
+    if (opts.variationalMode) {
+        // Fixed-basis re-expression: one calibrated 2Q gate, all
+        // variational freedom in the 1Q layers.
+        Circuit fixed(c.numQubits());
+        for (const Gate &g : c) {
+            if (g.is2Q() && (g.op == Op::U4 || g.op == Op::CAN)) {
+                auto gates = synth::su4ToFixedBasis(
+                    g.qubits[0], g.qubits[1], g.matrix(),
+                    opts.variationalBasis);
+                if (!gates.empty()) {
+                    for (Gate &e : gates)
+                        fixed.add(std::move(e));
+                    continue;
+                }
+            }
+            fixed.add(g);
+        }
+        c = std::move(fixed);
+        res.circuit = std::move(c);
+        res.finalPermutation = std::move(perm);
+        return res;
+    }
+    res.circuit = circuit::expandToCanU3(c);
+    res.finalPermutation = std::move(perm);
+    return res;
+}
+
+} // namespace
+
+CompileResult
+reqiscEff(const circuit::Circuit &input, const CompileOptions &opts)
+{
+    Circuit c = circuit::decomposeMcx(input);
+    c = templateSynthesis(c);
+    c = groupPauliRotations(c);
+    c = fuse2QBlocks(fuse1Q(c));
+    return finishPipeline(std::move(c), opts);
+}
+
+CompileResult
+reqiscFull(const circuit::Circuit &input, const CompileOptions &opts)
+{
+    Circuit c = circuit::decomposeMcx(input);
+    c = templateSynthesis(c);
+    c = groupPauliRotations(c);
+    c = fuse2QBlocks(fuse1Q(c));
+    if (opts.dagCompacting) {
+        c = hierarchicalSynthesis(c, opts.mTh, opts.synthTol);
+    } else {
+        // Ablation variant (ReQISC-NC): skip the compacting pass but
+        // keep partition + approximate synthesis.
+        std::vector<Partition3Q> blocks = partition3Q(c);
+        Circuit nc(input.numQubits());
+        for (const auto &b : blocks)
+            for (const Gate &g : b.gates)
+                nc.add(g);
+        // Reuse hierarchicalSynthesis' block resynthesis by calling
+        // it with compacting already skipped: emulate by synthesizing
+        // each block here.
+        c = std::move(nc);
+        Circuit out(input.numQubits());
+        for (const auto &b : partition3Q(c)) {
+            if (b.count2Q <= opts.mTh || b.qubits.size() < 3) {
+                for (const Gate &g : b.gates)
+                    out.add(g);
+                continue;
+            }
+            Matrix u = Matrix::identity(8);
+            auto local = [&](const Gate &g) {
+                std::vector<int> idx;
+                for (int q : g.qubits)
+                    idx.push_back(static_cast<int>(
+                        std::find(b.qubits.begin(), b.qubits.end(),
+                                  q) - b.qubits.begin()));
+                return idx;
+            };
+            for (const Gate &g : b.gates)
+                u = synth::liftGate(g.matrix(), local(g), 3) * u;
+            synth::SynthesisOptions sopts;
+            sopts.tol = opts.synthTol;
+            sopts.maxBlocks = std::min(7, b.count2Q - 1);
+            sopts.descending = true;
+            synth::SynthesisResult r =
+                synth::synthesizeBlock(u, b.qubits, sopts);
+            if (r.success &&
+                static_cast<int>(r.blockCount) < b.count2Q) {
+                for (const Gate &g : r.gates)
+                    out.add(g);
+            } else {
+                for (const Gate &g : b.gates)
+                    out.add(g);
+            }
+        }
+        c = fuse2QBlocks(fuse1Q(out));
+    }
+    return finishPipeline(std::move(c), opts);
+}
+
+} // namespace reqisc::compiler

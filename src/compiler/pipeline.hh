@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-to-end ReQISC compilation pipelines (Section 5.4).
+ *
+ * ReQISC-Eff: program-aware template synthesis + 2Q fusion +
+ * mirroring (minimal calibration overhead).
+ * ReQISC-Full: adds the hierarchical synthesis pass (DAG compacting +
+ * 3Q partition + approximate synthesis) for aggressive #2Q reduction.
+ */
+
+#ifndef REQISC_COMPILER_PIPELINE_HH
+#define REQISC_COMPILER_PIPELINE_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::compiler
+{
+
+/** Pipeline configuration knobs. */
+struct CompileOptions
+{
+    bool applyMirroring = true;  //!< near-identity gate mirroring
+    double mirrorThreshold = 0.1;
+    int mTh = 4;                 //!< hierarchical-synthesis threshold
+    double synthTol = 1e-9;      //!< approximate-synthesis precision
+    bool dagCompacting = true;   //!< ablation switch (Fig 14)
+    /**
+     * Variational-program mode (Section 5.3.1): re-express every
+     * SU(4) over one fixed 2Q basis gate plus parameterized 1Q
+     * layers, trading a slightly higher #2Q for a constant-size
+     * calibration set (the PMW-protocol trade-off).
+     */
+    bool variationalMode = false;
+    circuit::Op variationalBasis = circuit::Op::SQISW;
+};
+
+/** A compiled program: {Can, U3} circuit + tracked output wiring. */
+struct CompileResult
+{
+    circuit::Circuit circuit;
+    /** Logical qubit q of the input ends on wire perm[q]. */
+    std::vector<int> finalPermutation;
+};
+
+/**
+ * Program-aware template-based synthesis (Section 5.2.2): unroll
+ * 3-qubit IRs through the pre-synthesized ECC template library with
+ * selective assembly (prefer variants whose boundary pair fuses with
+ * the previously emitted SU(4)).
+ */
+circuit::Circuit templateSynthesis(const circuit::Circuit &c);
+
+/** The ReQISC-Eff pipeline. */
+CompileResult reqiscEff(const circuit::Circuit &input,
+                        const CompileOptions &opts = {});
+
+/** The ReQISC-Full pipeline. */
+CompileResult reqiscFull(const circuit::Circuit &input,
+                         const CompileOptions &opts = {});
+
+} // namespace reqisc::compiler
+
+#endif // REQISC_COMPILER_PIPELINE_HH

@@ -1,0 +1,38 @@
+#include "qmath/expm.hh"
+
+#include <cmath>
+
+#include "qmath/eig.hh"
+
+namespace reqisc::qmath
+{
+
+namespace
+{
+
+Matrix
+expPhase(const Matrix &h, double t)
+{
+    EigResult e = eigh(h);
+    const int n = h.rows();
+    Matrix d(n, n);
+    for (int i = 0; i < n; ++i)
+        d(i, i) = std::exp(Complex(0.0, t * e.values[i]));
+    return e.vectors * d * e.vectors.dagger();
+}
+
+} // namespace
+
+Matrix
+expim(const Matrix &h, double t)
+{
+    return expPhase(h, -t);
+}
+
+Matrix
+expimPlus(const Matrix &h, double t)
+{
+    return expPhase(h, t);
+}
+
+} // namespace reqisc::qmath

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Matrix exponentials of Hermitian generators.
+ *
+ * The genAshN scheme and all simulators only ever exponentiate
+ * Hermitian Hamiltonians, so exp(-i t H) = V exp(-i t w) V^dagger via
+ * the Jacobi eigensolver is exact to machine precision and cheap.
+ */
+
+#ifndef REQISC_QMATH_EXPM_HH
+#define REQISC_QMATH_EXPM_HH
+
+#include "qmath/matrix.hh"
+
+namespace reqisc::qmath
+{
+
+/**
+ * exp(-i t h) for Hermitian h.
+ *
+ * @param h Hermitian generator
+ * @param t evolution time (default 1)
+ * @return the unitary exp(-i t h)
+ */
+Matrix expim(const Matrix &h, double t = 1.0);
+
+/** exp(+i t h) for Hermitian h. */
+Matrix expimPlus(const Matrix &h, double t = 1.0);
+
+} // namespace reqisc::qmath
+
+#endif // REQISC_QMATH_EXPM_HH

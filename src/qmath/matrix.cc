@@ -1,0 +1,358 @@
+#include "qmath/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "qmath/svd.hh"
+
+namespace reqisc::qmath
+{
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+    : rows_(static_cast<int>(rows.size())),
+      cols_(rows.size() ? static_cast<int>(rows.begin()->size()) : 0)
+{
+    data_.reserve(static_cast<size_t>(rows_) * cols_);
+    for (const auto &row : rows) {
+        assert(static_cast<int>(row.size()) == cols_);
+        for (const auto &v : row)
+            data_.push_back(v);
+    }
+}
+
+Matrix
+Matrix::identity(int n)
+{
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    Matrix r(rows_, cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        r.data_[k] = data_[k] + o.data_[k];
+    return r;
+}
+
+Matrix
+Matrix::operator-(const Matrix &o) const
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    Matrix r(rows_, cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        r.data_[k] = data_[k] - o.data_[k];
+    return r;
+}
+
+Matrix
+Matrix::operator*(const Matrix &o) const
+{
+    assert(cols_ == o.rows_);
+    Matrix r(rows_, o.cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int k = 0; k < cols_; ++k) {
+            const Complex aik = (*this)(i, k);
+            if (aik == Complex(0.0, 0.0))
+                continue;
+            const Complex *brow = &o.data_[static_cast<size_t>(k) *
+                                           o.cols_];
+            Complex *rrow = &r.data_[static_cast<size_t>(i) * o.cols_];
+            for (int j = 0; j < o.cols_; ++j)
+                rrow[j] += aik * brow[j];
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::operator*(const Complex &s) const
+{
+    Matrix r(rows_, cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        r.data_[k] = data_[k] * s;
+    return r;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        data_[k] += o.data_[k];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &o)
+{
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        data_[k] -= o.data_[k];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(const Complex &s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix r(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            r(j, i) = std::conj((*this)(i, j));
+    return r;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix r(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix r(rows_, cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+        r.data_[k] = std::conj(data_[k]);
+    return r;
+}
+
+Complex
+Matrix::trace() const
+{
+    assert(rows_ == cols_);
+    Complex t(0.0, 0.0);
+    for (int i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &v : data_)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (const auto &v : data_)
+        m = std::max(m, std::abs(v));
+    return m;
+}
+
+bool
+Matrix::approxEqual(const Matrix &o, double tol) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        return false;
+    for (size_t k = 0; k < data_.size(); ++k)
+        if (std::abs(data_[k] - o.data_[k]) > tol)
+            return false;
+    return true;
+}
+
+bool
+Matrix::approxEqualUpToPhase(const Matrix &o, double tol) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        return false;
+    // Find the largest entry of o to estimate the relative phase.
+    size_t kmax = 0;
+    double best = -1.0;
+    for (size_t k = 0; k < data_.size(); ++k) {
+        if (std::abs(o.data_[k]) > best) {
+            best = std::abs(o.data_[k]);
+            kmax = k;
+        }
+    }
+    if (best < tol)
+        return approxEqual(o, tol);
+    Complex phase = data_[kmax] / o.data_[kmax];
+    double mag = std::abs(phase);
+    if (mag < 1e-14)
+        return false;
+    phase /= mag;
+    for (size_t k = 0; k < data_.size(); ++k)
+        if (std::abs(data_[k] - phase * o.data_[k]) > tol)
+            return false;
+    return true;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return ((*this) * dagger()).approxEqual(identity(rows_), tol);
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return approxEqual(dagger(), tol);
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed;
+    for (int i = 0; i < rows_; ++i) {
+        os << "[ ";
+        for (int j = 0; j < cols_; ++j) {
+            const Complex v = (*this)(i, j);
+            os << v.real() << (v.imag() >= 0 ? "+" : "-")
+               << std::abs(v.imag()) << "i ";
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+Matrix
+kron(const Matrix &a, const Matrix &b)
+{
+    Matrix r(a.rows() * b.rows(), a.cols() * b.cols());
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j) {
+            const Complex aij = a(i, j);
+            if (aij == Complex(0.0, 0.0))
+                continue;
+            for (int k = 0; k < b.rows(); ++k)
+                for (int l = 0; l < b.cols(); ++l)
+                    r(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+        }
+    return r;
+}
+
+Matrix
+kronAll(const std::vector<Matrix> &factors)
+{
+    assert(!factors.empty());
+    Matrix r = factors.front();
+    for (size_t i = 1; i < factors.size(); ++i)
+        r = kron(r, factors[i]);
+    return r;
+}
+
+Complex
+hsInner(const Matrix &a, const Matrix &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    Complex s(0.0, 0.0);
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            s += std::conj(a(i, j)) * b(i, j);
+    return s;
+}
+
+double
+traceFidelity(const Matrix &u, const Matrix &v)
+{
+    return std::abs(hsInner(u, v)) / u.rows();
+}
+
+double
+traceInfidelity(const Matrix &u, const Matrix &v)
+{
+    return 1.0 - traceFidelity(u, v);
+}
+
+double
+kronFactor2x2(const Matrix &m, Matrix &a, Matrix &b)
+{
+    assert(m.rows() == 4 && m.cols() == 4);
+    // Rearrangement R: R[(i1,j1),(i2,j2)] = m[(i1,i2),(j1,j2)].
+    // m = a(x)b <=> R = vec(a) vec(b)^T (rank one).
+    Matrix r(4, 4);
+    for (int i1 = 0; i1 < 2; ++i1)
+        for (int j1 = 0; j1 < 2; ++j1)
+            for (int i2 = 0; i2 < 2; ++i2)
+                for (int j2 = 0; j2 < 2; ++j2)
+                    r(i1 * 2 + j1, i2 * 2 + j2) =
+                        m(i1 * 2 + i2, j1 * 2 + j2);
+    // Dominant singular triple of the 4x4 rearrangement via the
+    // robust one-sided Jacobi SVD.
+    SvdResult s = svd(r);
+    const double sigma = s.s[0];
+    const double sq = std::sqrt(sigma);
+    a = Matrix(2, 2);
+    b = Matrix(2, 2);
+    // vec(a) = sqrt(sigma) * u_0, vec(b) = sqrt(sigma) * conj(v_0).
+    a(0, 0) = s.u(0, 0) * sq; a(0, 1) = s.u(1, 0) * sq;
+    a(1, 0) = s.u(2, 0) * sq; a(1, 1) = s.u(3, 0) * sq;
+    b(0, 0) = std::conj(s.v(0, 0)) * sq;
+    b(0, 1) = std::conj(s.v(1, 0)) * sq;
+    b(1, 0) = std::conj(s.v(2, 0)) * sq;
+    b(1, 1) = std::conj(s.v(3, 0)) * sq;
+    return (m - kron(a, b)).frobeniusNorm();
+}
+
+namespace
+{
+
+Matrix
+makePauli(char which)
+{
+    switch (which) {
+      case 'I': return {{1.0, 0.0}, {0.0, 1.0}};
+      case 'X': return {{0.0, 1.0}, {1.0, 0.0}};
+      case 'Y': return {{0.0, -kI}, {kI, 0.0}};
+      default:  return {{1.0, 0.0}, {0.0, -1.0}};
+    }
+}
+
+} // namespace
+
+const Matrix &pauliI() { static const Matrix m = makePauli('I'); return m; }
+const Matrix &pauliX() { static const Matrix m = makePauli('X'); return m; }
+const Matrix &pauliY() { static const Matrix m = makePauli('Y'); return m; }
+const Matrix &pauliZ() { static const Matrix m = makePauli('Z'); return m; }
+
+const Matrix &
+pauliXX()
+{
+    static const Matrix m = kron(pauliX(), pauliX());
+    return m;
+}
+
+const Matrix &
+pauliYY()
+{
+    static const Matrix m = kron(pauliY(), pauliY());
+    return m;
+}
+
+const Matrix &
+pauliZZ()
+{
+    static const Matrix m = kron(pauliZ(), pauliZ());
+    return m;
+}
+
+} // namespace reqisc::qmath

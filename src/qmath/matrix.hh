@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Dense complex matrix type and basic linear-algebra operations.
+ *
+ * ReQISC works almost exclusively with small dense complex matrices
+ * (2x2 one-qubit gates, 4x4 two-qubit gates, 8x8 synthesis blocks and
+ * 2^n x 2^n simulator unitaries for small n), so a simple row-major
+ * dense representation is the right substrate.
+ */
+
+#ifndef REQISC_QMATH_MATRIX_HH
+#define REQISC_QMATH_MATRIX_HH
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace reqisc::qmath
+{
+
+using Complex = std::complex<double>;
+
+/** Imaginary unit, used pervasively when building gate matrices. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** Machine-precision-scale default tolerance for approx comparisons. */
+inline constexpr double kDefaultTol = 1e-10;
+
+/**
+ * Row-major dense complex matrix.
+ *
+ * Sized at runtime; all hot paths in ReQISC use n <= 64 so no effort is
+ * spent on blocking or vectorization beyond what -O2 provides.
+ */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    Matrix(int rows, int cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, Complex(0.0, 0.0))
+    {
+        assert(rows >= 0 && cols >= 0);
+    }
+
+    /** Build from a nested initializer list (row by row). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** @return the n x n identity matrix. */
+    static Matrix identity(int n);
+
+    /** @return an all-zero rows x cols matrix. */
+    static Matrix zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    Complex &
+    operator()(int i, int j)
+    {
+        assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<size_t>(i) * cols_ + j];
+    }
+
+    const Complex &
+    operator()(int i, int j) const
+    {
+        assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+        return data_[static_cast<size_t>(i) * cols_ + j];
+    }
+
+    /** Raw storage access (row-major), used by the simulators. */
+    Complex *data() { return data_.data(); }
+    const Complex *data() const { return data_.data(); }
+
+    Matrix operator+(const Matrix &o) const;
+    Matrix operator-(const Matrix &o) const;
+    Matrix operator*(const Matrix &o) const;
+    Matrix operator*(const Complex &s) const;
+    Matrix &operator+=(const Matrix &o);
+    Matrix &operator-=(const Matrix &o);
+    Matrix &operator*=(const Complex &s);
+
+    /** @return the conjugate transpose. */
+    Matrix dagger() const;
+
+    /** @return the (non-conjugated) transpose. */
+    Matrix transpose() const;
+
+    /** @return the entrywise complex conjugate. */
+    Matrix conjugate() const;
+
+    Complex trace() const;
+
+    /** Frobenius norm sqrt(sum |a_ij|^2). */
+    double frobeniusNorm() const;
+
+    /** Largest entrywise magnitude. */
+    double maxAbs() const;
+
+    /** Entrywise comparison with absolute tolerance. */
+    bool approxEqual(const Matrix &o, double tol = kDefaultTol) const;
+
+    /**
+     * Compare up to a global phase: true iff there is a unit-modulus
+     * phase p with |this - p*o| <= tol entrywise.
+     */
+    bool approxEqualUpToPhase(const Matrix &o,
+                              double tol = kDefaultTol) const;
+
+    /** true iff M Mdag = I within tol. */
+    bool isUnitary(double tol = kDefaultTol) const;
+
+    /** true iff M = Mdag within tol. */
+    bool isHermitian(double tol = kDefaultTol) const;
+
+    /** Human-readable dump, mostly for debugging and test failures. */
+    std::string toString(int precision = 4) const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<Complex> data_;
+};
+
+inline Matrix
+operator*(const Complex &s, const Matrix &m)
+{
+    return m * s;
+}
+
+/** Kronecker (tensor) product a (x) b. */
+Matrix kron(const Matrix &a, const Matrix &b);
+
+/** Tensor product of a list of factors, left factor = most significant. */
+Matrix kronAll(const std::vector<Matrix> &factors);
+
+/** Tr(a^dagger b), the Hilbert-Schmidt inner product. */
+Complex hsInner(const Matrix &a, const Matrix &b);
+
+/**
+ * Phase-invariant gate fidelity |Tr(Udag V)| / N for N x N unitaries.
+ * 1.0 means U and V agree up to a global phase.
+ */
+double traceFidelity(const Matrix &u, const Matrix &v);
+
+/** 1 - traceFidelity, the infidelity used throughout the paper. */
+double traceInfidelity(const Matrix &u, const Matrix &v);
+
+/**
+ * Nearest Kronecker factorization of a 4x4 matrix m ~ a (x) b
+ * (Pitsianis-Van Loan rearrangement + dominant rank-1 term).
+ * For exact tensor products of unitaries the result is exact and both
+ * factors are returned with unit determinant phase normalization.
+ *
+ * @param m input 4x4 matrix
+ * @param a output 2x2 left factor
+ * @param b output 2x2 right factor
+ * @return Frobenius norm of the residual m - a (x) b
+ */
+double kronFactor2x2(const Matrix &m, Matrix &a, Matrix &b);
+
+/** Pauli and frequently used constant matrices. */
+const Matrix &pauliI();
+const Matrix &pauliX();
+const Matrix &pauliY();
+const Matrix &pauliZ();
+
+/** Two-qubit Pauli products XX, YY, ZZ. */
+const Matrix &pauliXX();
+const Matrix &pauliYY();
+const Matrix &pauliZZ();
+
+} // namespace reqisc::qmath
+
+#endif // REQISC_QMATH_MATRIX_HH

@@ -1,0 +1,224 @@
+#include "qmath/optimize.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace reqisc::qmath
+{
+
+MinimizeResult
+nelderMead(const std::function<double(const std::vector<double> &)> &f,
+           const std::vector<double> &x0, double step, double tol,
+           int max_iter)
+{
+    const size_t n = x0.size();
+    assert(n >= 1);
+    std::vector<std::vector<double>> pts(n + 1, x0);
+    for (size_t i = 0; i < n; ++i)
+        pts[i + 1][i] += step;
+    std::vector<double> vals(n + 1);
+    for (size_t i = 0; i <= n; ++i)
+        vals[i] = f(pts[i]);
+
+    MinimizeResult res;
+    int it = 0;
+    for (; it < max_iter; ++it) {
+        // Order simplex.
+        std::vector<size_t> ord(n + 1);
+        for (size_t i = 0; i <= n; ++i)
+            ord[i] = i;
+        std::sort(ord.begin(), ord.end(), [&](size_t a, size_t b) {
+            return vals[a] < vals[b];
+        });
+        const size_t best = ord[0], worst = ord[n], second = ord[n - 1];
+        if (std::abs(vals[worst] - vals[best]) <
+                tol * (std::abs(vals[best]) + tol))
+            break;
+
+        // Centroid of all but worst.
+        std::vector<double> cen(n, 0.0);
+        for (size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (size_t d = 0; d < n; ++d)
+                cen[d] += pts[i][d];
+        }
+        for (size_t d = 0; d < n; ++d)
+            cen[d] /= static_cast<double>(n);
+
+        auto blend = [&](double coef) {
+            std::vector<double> p(n);
+            for (size_t d = 0; d < n; ++d)
+                p[d] = cen[d] + coef * (pts[worst][d] - cen[d]);
+            return p;
+        };
+
+        std::vector<double> xr = blend(-1.0);
+        double fr = f(xr);
+        if (fr < vals[ord[0]]) {
+            std::vector<double> xe = blend(-2.0);
+            double fe = f(xe);
+            if (fe < fr) {
+                pts[worst] = xe;
+                vals[worst] = fe;
+            } else {
+                pts[worst] = xr;
+                vals[worst] = fr;
+            }
+        } else if (fr < vals[second]) {
+            pts[worst] = xr;
+            vals[worst] = fr;
+        } else {
+            std::vector<double> xc = blend(0.5);
+            double fc = f(xc);
+            if (fc < vals[worst]) {
+                pts[worst] = xc;
+                vals[worst] = fc;
+            } else {
+                // Shrink toward best.
+                for (size_t i = 0; i <= n; ++i) {
+                    if (i == best)
+                        continue;
+                    for (size_t d = 0; d < n; ++d)
+                        pts[i][d] = pts[best][d] +
+                            0.5 * (pts[i][d] - pts[best][d]);
+                    vals[i] = f(pts[i]);
+                }
+            }
+        }
+    }
+    size_t bi = 0;
+    for (size_t i = 1; i <= n; ++i)
+        if (vals[i] < vals[bi])
+            bi = i;
+    res.x = pts[bi];
+    res.value = vals[bi];
+    res.iterations = it;
+    res.converged = it < max_iter;
+    return res;
+}
+
+RootResult
+newtonSolve(const std::function<std::vector<double>(
+                const std::vector<double> &)> &f,
+            const std::vector<double> &x0, double tol, int max_iter)
+{
+    const size_t n = x0.size();
+    std::vector<double> x = x0;
+    auto norm = [](const std::vector<double> &v) {
+        double s = 0.0;
+        for (double e : v)
+            s += e * e;
+        return std::sqrt(s);
+    };
+    std::vector<double> fx = f(x);
+    assert(fx.size() == n);
+    double r = norm(fx);
+    RootResult res;
+    for (int it = 0; it < max_iter; ++it) {
+        if (r < tol) {
+            res.converged = true;
+            break;
+        }
+        // Forward-difference Jacobian.
+        std::vector<std::vector<double>> jac(n, std::vector<double>(n));
+        for (size_t j = 0; j < n; ++j) {
+            const double h =
+                1e-7 * std::max(1.0, std::abs(x[j]));
+            std::vector<double> xp = x;
+            xp[j] += h;
+            std::vector<double> fp = f(xp);
+            for (size_t i = 0; i < n; ++i)
+                jac[i][j] = (fp[i] - fx[i]) / h;
+        }
+        // Solve jac * dx = -fx by Gaussian elimination with partial
+        // pivoting (n is 1..3 here).
+        std::vector<std::vector<double>> a = jac;
+        std::vector<double> b(n);
+        for (size_t i = 0; i < n; ++i)
+            b[i] = -fx[i];
+        bool singular = false;
+        for (size_t col = 0; col < n; ++col) {
+            size_t piv = col;
+            for (size_t row = col + 1; row < n; ++row)
+                if (std::abs(a[row][col]) > std::abs(a[piv][col]))
+                    piv = row;
+            if (std::abs(a[piv][col]) < 1e-14) {
+                singular = true;
+                break;
+            }
+            std::swap(a[piv], a[col]);
+            std::swap(b[piv], b[col]);
+            for (size_t row = col + 1; row < n; ++row) {
+                const double fmul = a[row][col] / a[col][col];
+                for (size_t c = col; c < n; ++c)
+                    a[row][c] -= fmul * a[col][c];
+                b[row] -= fmul * b[col];
+            }
+        }
+        if (singular)
+            break;
+        std::vector<double> dx(n);
+        for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+            double s = b[i];
+            for (size_t c = i + 1; c < n; ++c)
+                s -= a[i][c] * dx[c];
+            dx[i] = s / a[i][i];
+        }
+        // Backtracking line search on the residual norm.
+        double lambda = 1.0;
+        bool improved = false;
+        for (int ls = 0; ls < 40; ++ls) {
+            std::vector<double> xn = x;
+            for (size_t d = 0; d < n; ++d)
+                xn[d] += lambda * dx[d];
+            std::vector<double> fn = f(xn);
+            const double rn = norm(fn);
+            if (rn < r) {
+                x = xn;
+                fx = fn;
+                r = rn;
+                improved = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if (!improved)
+            break;
+    }
+    if (r < tol)
+        res.converged = true;
+    res.x = x;
+    res.residual = r;
+    return res;
+}
+
+double
+bisect(const std::function<double(double)> &f, double lo, double hi,
+       double tol, int max_iter)
+{
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0)
+        return lo;
+    if (fhi == 0.0)
+        return hi;
+    assert(flo * fhi <= 0.0);
+    for (int it = 0; it < max_iter && (hi - lo) > tol; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double fm = f(mid);
+        if (fm == 0.0)
+            return mid;
+        if (flo * fm < 0.0) {
+            hi = mid;
+            fhi = fm;
+        } else {
+            lo = mid;
+            flo = fm;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace reqisc::qmath

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small derivative-free optimizers and root finders.
+ *
+ * The paper's reference implementation solves the genAshN EA+/EA-
+ * transcendental equations with scipy (grid search + SLSQP + fsolve);
+ * these are the C++ equivalents: a Nelder-Mead simplex minimizer for
+ * the coarse refinement and a damped-Newton root finder (numerical
+ * Jacobian) to pinpoint roots, plus a bisection helper for the
+ * sinc-inverse solves of the ND subscheme.
+ */
+
+#ifndef REQISC_QMATH_OPTIMIZE_HH
+#define REQISC_QMATH_OPTIMIZE_HH
+
+#include <functional>
+#include <vector>
+
+namespace reqisc::qmath
+{
+
+/** Result of a minimization run. */
+struct MinimizeResult
+{
+    std::vector<double> x;
+    double value = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Nelder-Mead simplex minimization.
+ *
+ * @param f objective
+ * @param x0 starting point
+ * @param step initial simplex edge length
+ * @param tol stop when the simplex value spread falls below tol
+ * @param max_iter iteration budget
+ */
+MinimizeResult nelderMead(
+    const std::function<double(const std::vector<double> &)> &f,
+    const std::vector<double> &x0, double step = 0.1,
+    double tol = 1e-14, int max_iter = 2000);
+
+/** Result of a multivariate root solve. */
+struct RootResult
+{
+    std::vector<double> x;
+    double residual = 0.0;
+    bool converged = false;
+};
+
+/**
+ * Damped Newton iteration for f: R^n -> R^n with a forward-difference
+ * Jacobian; used to polish roots located by grid + Nelder-Mead.
+ *
+ * @param f residual function
+ * @param x0 starting point
+ * @param tol convergence threshold on the residual norm
+ * @param max_iter iteration budget
+ */
+RootResult newtonSolve(
+    const std::function<std::vector<double>(
+        const std::vector<double> &)> &f,
+    const std::vector<double> &x0, double tol = 1e-13,
+    int max_iter = 80);
+
+/**
+ * Bisection root finder for a scalar function on [lo, hi]; requires a
+ * sign change. @return the root location.
+ */
+double bisect(const std::function<double(double)> &f, double lo,
+              double hi, double tol = 1e-15, int max_iter = 200);
+
+} // namespace reqisc::qmath
+
+#endif // REQISC_QMATH_OPTIMIZE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic random sources: Haar-random unitaries, random Hermitian
+ * matrices, random coupling coefficients.
+ *
+ * Everything takes an explicit engine so experiments are reproducible;
+ * the paper's artifact is likewise "deterministic; no RNG required" for
+ * its tables, and the Haar sweeps in Table 3 fix seeds.
+ */
+
+#ifndef REQISC_QMATH_RANDOM_HH
+#define REQISC_QMATH_RANDOM_HH
+
+#include <random>
+
+#include "qmath/matrix.hh"
+
+namespace reqisc::qmath
+{
+
+using Rng = std::mt19937_64;
+
+/** Standard-normal complex Ginibre matrix. */
+Matrix randomGinibre(int n, Rng &rng);
+
+/**
+ * Haar-distributed random unitary via QR of a Ginibre matrix with the
+ * R-diagonal phase fix (Mezzadri's recipe).
+ */
+Matrix randomUnitary(int n, Rng &rng);
+
+/** Random Hermitian matrix with i.i.d. Gaussian entries (GUE-like). */
+Matrix randomHermitian(int n, Rng &rng);
+
+/** Random 1-qubit special unitary. */
+Matrix randomSU2(Rng &rng);
+
+} // namespace reqisc::qmath
+
+#endif // REQISC_QMATH_RANDOM_HH

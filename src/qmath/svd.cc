@@ -1,0 +1,134 @@
+#include "qmath/svd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace reqisc::qmath
+{
+
+SvdResult
+svd(const Matrix &a)
+{
+    assert(a.rows() == a.cols());
+    const int n = a.rows();
+    Matrix u = a;                      // becomes U * Sigma
+    Matrix v = Matrix::identity(n);    // accumulates V
+
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+    for (int sweep = 0; sweep < 120; ++sweep) {
+        double off = 0.0;
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                // 2x2 Gram matrix of columns p, q.
+                Complex cpq(0.0, 0.0);
+                double app = 0.0, aqq = 0.0;
+                for (int i = 0; i < n; ++i) {
+                    app += std::norm(u(i, p));
+                    aqq += std::norm(u(i, q));
+                    cpq += std::conj(u(i, p)) * u(i, q);
+                }
+                const double mag = std::abs(cpq);
+                off = std::max(off, mag);
+                if (mag < 1e-18 * scale * scale)
+                    continue;
+                const Complex phase = cpq / mag;
+                const double zeta = (app - aqq) / (2.0 * mag);
+                const double t = (zeta >= 0.0)
+                    ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                    : 1.0 / (zeta - std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+                const Complex sp = s * phase;
+                for (int i = 0; i < n; ++i) {
+                    const Complex uip = u(i, p);
+                    const Complex uiq = u(i, q);
+                    u(i, p) = c * uip + std::conj(sp) * uiq;
+                    u(i, q) = -sp * uip + c * uiq;
+                }
+                for (int i = 0; i < n; ++i) {
+                    const Complex vip = v(i, p);
+                    const Complex viq = v(i, q);
+                    v(i, p) = c * vip + std::conj(sp) * viq;
+                    v(i, q) = -sp * vip + c * viq;
+                }
+            }
+        }
+        if (off < 1e-15 * scale * scale)
+            break;
+    }
+
+    SvdResult r;
+    r.s.resize(n);
+    r.u = Matrix(n, n);
+    r.v = v;
+    for (int j = 0; j < n; ++j) {
+        double nrm = 0.0;
+        for (int i = 0; i < n; ++i)
+            nrm += std::norm(u(i, j));
+        nrm = std::sqrt(nrm);
+        r.s[j] = nrm;
+        if (nrm > 1e-300) {
+            for (int i = 0; i < n; ++i)
+                r.u(i, j) = u(i, j) / nrm;
+        }
+    }
+
+    // Sort singular values descending, permuting u and v columns.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return r.s[x] > r.s[y];
+    });
+    SvdResult out;
+    out.s.resize(n);
+    out.u = Matrix(n, n);
+    out.v = Matrix(n, n);
+    for (int j = 0; j < n; ++j) {
+        out.s[j] = r.s[order[j]];
+        for (int i = 0; i < n; ++i) {
+            out.u(i, j) = r.u(i, order[j]);
+            out.v(i, j) = r.v(i, order[j]);
+        }
+    }
+
+    // Complete zero columns of u into an orthonormal basis so u is
+    // always exactly unitary (needed by polarUnitary for singular a).
+    for (int j = 0; j < n; ++j) {
+        double nrm = 0.0;
+        for (int i = 0; i < n; ++i)
+            nrm += std::norm(out.u(i, j));
+        if (nrm > 0.5)
+            continue;
+        // Gram-Schmidt a unit vector against the existing columns.
+        for (int cand = 0; cand < n; ++cand) {
+            Matrix e(n, 1);
+            e(cand, 0) = 1.0;
+            for (int k = 0; k < n; ++k) {
+                if (k == j)
+                    continue;
+                Complex proj(0.0, 0.0);
+                for (int i = 0; i < n; ++i)
+                    proj += std::conj(out.u(i, k)) * e(i, 0);
+                for (int i = 0; i < n; ++i)
+                    e(i, 0) -= proj * out.u(i, k);
+            }
+            double en = e.frobeniusNorm();
+            if (en > 1e-6) {
+                for (int i = 0; i < n; ++i)
+                    out.u(i, j) = e(i, 0) / en;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+polarUnitary(const Matrix &a)
+{
+    SvdResult r = svd(a);
+    return r.u * r.v.dagger();
+}
+
+} // namespace reqisc::qmath

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Complex singular value decomposition via one-sided Jacobi.
+ *
+ * Used by the QFactor-style approximate synthesis engine (optimal
+ * unitary block update) and by tensor-factor extraction.
+ */
+
+#ifndef REQISC_QMATH_SVD_HH
+#define REQISC_QMATH_SVD_HH
+
+#include <vector>
+
+#include "qmath/matrix.hh"
+
+namespace reqisc::qmath
+{
+
+/** A = u * diag(s) * v^dagger with u, v unitary and s >= 0 descending. */
+struct SvdResult
+{
+    Matrix u;
+    std::vector<double> s;
+    Matrix v;
+};
+
+/**
+ * One-sided Jacobi SVD of a square complex matrix.
+ *
+ * @param a square input matrix
+ * @return SVD with singular values sorted descending
+ */
+SvdResult svd(const Matrix &a);
+
+/**
+ * Closest unitary to a in Frobenius norm (the unitary polar factor
+ * u * v^dagger). For (near-)singular a the completion is arbitrary but
+ * still exactly unitary.
+ */
+Matrix polarUnitary(const Matrix &a);
+
+} // namespace reqisc::qmath
+
+#endif // REQISC_QMATH_SVD_HH

@@ -1,0 +1,173 @@
+#include "qsim/statevector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reqisc::qsim
+{
+
+StateVector::StateVector(int num_qubits)
+    : numQubits_(num_qubits),
+      amps_(static_cast<size_t>(1) << num_qubits, Complex(0.0, 0.0))
+{
+    amps_[0] = 1.0;
+}
+
+void
+StateVector::applyMatrix(const std::vector<int> &qubits,
+                         const Matrix &m)
+{
+    const int k = static_cast<int>(qubits.size());
+    const int sub = 1 << k;
+    assert(m.rows() == sub && m.cols() == sub);
+    // Bit position of each gate qubit in the global index
+    // (qubit 0 = most significant).
+    std::vector<int> shift(k);
+    for (int i = 0; i < k; ++i)
+        shift[i] = numQubits_ - 1 - qubits[i];
+    // Enumerate all base indices with the gate-qubit bits cleared.
+    size_t mask = 0;
+    for (int i = 0; i < k; ++i)
+        mask |= (static_cast<size_t>(1) << shift[i]);
+    const size_t dim_total = amps_.size();
+    std::vector<size_t> offs(sub);
+    for (int s = 0; s < sub; ++s) {
+        size_t o = 0;
+        for (int i = 0; i < k; ++i)
+            // Gate index bit i (MSB-first within the gate).
+            if (s & (1 << (k - 1 - i)))
+                o |= (static_cast<size_t>(1) << shift[i]);
+        offs[s] = o;
+    }
+    std::vector<Complex> buf(sub);
+    for (size_t base = 0; base < dim_total; ++base) {
+        if (base & mask)
+            continue;
+        for (int s = 0; s < sub; ++s)
+            buf[s] = amps_[base | offs[s]];
+        for (int r = 0; r < sub; ++r) {
+            Complex acc(0.0, 0.0);
+            for (int s = 0; s < sub; ++s)
+                acc += m(r, s) * buf[s];
+            amps_[base | offs[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::applyGate(const circuit::Gate &g)
+{
+    applyMatrix(g.qubits, g.matrix());
+}
+
+void
+StateVector::applyCircuit(const circuit::Circuit &c)
+{
+    assert(c.numQubits() == numQubits_);
+    for (const auto &g : c)
+        applyGate(g);
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+void
+StateVector::permuteQubits(const std::vector<int> &perm)
+{
+    assert(static_cast<int>(perm.size()) == numQubits_);
+    std::vector<Complex> out(amps_.size(), Complex(0.0, 0.0));
+    for (size_t idx = 0; idx < amps_.size(); ++idx) {
+        size_t nidx = 0;
+        for (int q = 0; q < numQubits_; ++q) {
+            const int bit =
+                (idx >> (numQubits_ - 1 - q)) & 1;
+            if (bit)
+                nidx |= (static_cast<size_t>(1)
+                         << (numQubits_ - 1 - perm[q]));
+        }
+        out[nidx] = amps_[idx];
+    }
+    amps_ = std::move(out);
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    assert(other.amps_.size() == amps_.size());
+    Complex ov(0.0, 0.0);
+    for (size_t i = 0; i < amps_.size(); ++i)
+        ov += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(ov);
+}
+
+Matrix
+buildUnitary(const circuit::Circuit &c)
+{
+    const int n = c.numQubits();
+    const size_t dim = static_cast<size_t>(1) << n;
+    Matrix u = Matrix::identity(static_cast<int>(dim));
+    // Apply the circuit to each column expressed as a statevector.
+    // For the small n used by verification this is fast enough and
+    // reuses the well-tested statevector kernels.
+    for (size_t col = 0; col < dim; ++col) {
+        StateVector sv(n);
+        sv.amplitudes().assign(dim, Complex(0.0, 0.0));
+        sv.amplitudes()[col] = 1.0;
+        sv.applyCircuit(c);
+        for (size_t row = 0; row < dim; ++row)
+            u(static_cast<int>(row), static_cast<int>(col)) =
+                sv.amplitudes()[row];
+    }
+    return u;
+}
+
+std::vector<int>
+inversePermutation(const std::vector<int> &perm)
+{
+    std::vector<int> inv(perm.size());
+    for (size_t q = 0; q < perm.size(); ++q)
+        inv[perm[q]] = static_cast<int>(q);
+    return inv;
+}
+
+Matrix
+buildUnitaryWithPermutation(const circuit::Circuit &c,
+                            const std::vector<int> &perm)
+{
+    const int n = c.numQubits();
+    const size_t dim = static_cast<size_t>(1) << n;
+    // perm says logical qubit q ended on wire perm[q]; undoing it
+    // moves the bit on wire perm[q] back to q, i.e. the inverse map.
+    const std::vector<int> inv = inversePermutation(perm);
+    Matrix u(static_cast<int>(dim), static_cast<int>(dim));
+    for (size_t col = 0; col < dim; ++col) {
+        StateVector sv(n);
+        sv.amplitudes().assign(dim, Complex(0.0, 0.0));
+        sv.amplitudes()[col] = 1.0;
+        sv.applyCircuit(c);
+        sv.permuteQubits(inv);
+        for (size_t row = 0; row < dim; ++row)
+            u(static_cast<int>(row), static_cast<int>(col)) =
+                sv.amplitudes()[row];
+    }
+    return u;
+}
+
+double
+hellingerFidelity(const std::vector<double> &p,
+                  const std::vector<double> &q)
+{
+    assert(p.size() == q.size());
+    double s = 0.0;
+    for (size_t i = 0; i < p.size(); ++i)
+        s += std::sqrt(std::max(0.0, p[i]) * std::max(0.0, q[i]));
+    return s * s;
+}
+
+} // namespace reqisc::qsim

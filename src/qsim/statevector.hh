@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Statevector simulator.
+ *
+ * Index convention: qubit 0 is the most significant bit of the state
+ * index, matching the kron() ordering used by the gate library.
+ */
+
+#ifndef REQISC_QSIM_STATEVECTOR_HH
+#define REQISC_QSIM_STATEVECTOR_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "qmath/matrix.hh"
+
+namespace reqisc::qsim
+{
+
+using qmath::Complex;
+using qmath::Matrix;
+
+/** Dense statevector over n qubits. */
+class StateVector
+{
+  public:
+    /** Initialize to |0...0>. */
+    explicit StateVector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    size_t dim() const { return amps_.size(); }
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+    std::vector<Complex> &amplitudes() { return amps_; }
+
+    /** Apply a k-qubit matrix (first listed qubit most significant). */
+    void applyMatrix(const std::vector<int> &qubits, const Matrix &m);
+
+    /** Apply one gate. */
+    void applyGate(const circuit::Gate &g);
+
+    /** Run a whole circuit. */
+    void applyCircuit(const circuit::Circuit &c);
+
+    /** Measurement probabilities in the computational basis. */
+    std::vector<double> probabilities() const;
+
+    /**
+     * Permute qubits: amplitude of basis state b moves to the state
+     * where qubit perm[q] holds the bit previously on qubit q. Used to
+     * undo compile-time mirroring / routing permutations.
+     */
+    void permuteQubits(const std::vector<int> &perm);
+
+    /** |<this|other>|^2 state fidelity. */
+    double fidelity(const StateVector &other) const;
+
+  private:
+    int numQubits_;
+    std::vector<Complex> amps_;
+};
+
+/** Build the full 2^n x 2^n unitary of a circuit. */
+Matrix buildUnitary(const circuit::Circuit &c);
+
+/**
+ * Build the unitary of a circuit followed by a final qubit
+ * permutation (logical qubit q ends on wire perm[q]).
+ */
+Matrix buildUnitaryWithPermutation(const circuit::Circuit &c,
+                                   const std::vector<int> &perm);
+
+/** Inverse of a qubit permutation. */
+std::vector<int> inversePermutation(const std::vector<int> &perm);
+
+/** Hellinger fidelity between two probability distributions. */
+double hellingerFidelity(const std::vector<double> &p,
+                         const std::vector<double> &q);
+
+} // namespace reqisc::qsim
+
+#endif // REQISC_QSIM_STATEVECTOR_HH

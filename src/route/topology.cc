@@ -1,0 +1,99 @@
+#include "route/topology.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace reqisc::route
+{
+
+Topology::Topology(int n, std::string name)
+    : n_(n), name_(std::move(name)), adj_(n)
+{
+}
+
+void
+Topology::addEdge(int a, int b)
+{
+    assert(a != b && a >= 0 && b >= 0 && a < n_ && b < n_);
+    if (connected(a, b))
+        return;
+    edges_.push_back(std::minmax(a, b));
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+}
+
+bool
+Topology::connected(int a, int b) const
+{
+    const auto &na = adj_[a];
+    return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+void
+Topology::computeDistances()
+{
+    dist_.assign(n_, std::vector<int>(n_, 1 << 20));
+    for (int s = 0; s < n_; ++s) {
+        dist_[s][s] = 0;
+        std::deque<int> queue{s};
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (int v : adj_[u]) {
+                if (dist_[s][v] > dist_[s][u] + 1) {
+                    dist_[s][v] = dist_[s][u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+Topology
+Topology::chain(int n)
+{
+    Topology t(n, "chain");
+    for (int i = 0; i + 1 < n; ++i)
+        t.addEdge(i, i + 1);
+    t.computeDistances();
+    return t;
+}
+
+Topology
+Topology::grid(int rows, int cols)
+{
+    Topology t(rows * cols, "grid");
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            const int q = r * cols + c;
+            if (c + 1 < cols)
+                t.addEdge(q, q + 1);
+            if (r + 1 < rows)
+                t.addEdge(q, q + cols);
+        }
+    t.computeDistances();
+    return t;
+}
+
+Topology
+Topology::gridFor(int n)
+{
+    int cols = static_cast<int>(std::ceil(std::sqrt(n)));
+    int rows = (n + cols - 1) / cols;
+    return grid(rows, cols);
+}
+
+Topology
+Topology::allToAll(int n)
+{
+    Topology t(n, "all2all");
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            t.addEdge(a, b);
+    t.computeDistances();
+    return t;
+}
+
+} // namespace reqisc::route

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Device coupling topologies for the mapping experiments: 1D chain,
+ * 2D grid and all-to-all (Section 6.4).
+ */
+
+#ifndef REQISC_ROUTE_TOPOLOGY_HH
+#define REQISC_ROUTE_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace reqisc::route
+{
+
+/** Undirected device connectivity graph with cached distances. */
+class Topology
+{
+  public:
+    /** Linear chain q0 - q1 - ... - q(n-1). */
+    static Topology chain(int n);
+
+    /** rows x cols grid with nearest-neighbour edges. */
+    static Topology grid(int rows, int cols);
+
+    /** Near-square grid holding at least n qubits. */
+    static Topology gridFor(int n);
+
+    /** Fully connected device (logical-level compilation). */
+    static Topology allToAll(int n);
+
+    int numQubits() const { return n_; }
+    bool connected(int a, int b) const;
+    const std::vector<std::pair<int, int>> &edges() const
+    {
+        return edges_;
+    }
+    const std::vector<int> &neighbors(int q) const
+    {
+        return adj_[q];
+    }
+
+    /** Shortest-path hop distance (precomputed BFS). */
+    int distance(int a, int b) const { return dist_[a][b]; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    Topology(int n, std::string name);
+    void addEdge(int a, int b);
+    void computeDistances();
+
+    int n_;
+    std::string name_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace reqisc::route
+
+#endif // REQISC_ROUTE_TOPOLOGY_HH

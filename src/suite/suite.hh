@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Benchmark-suite generators covering the 17 program categories of
+ * Table 1 (alu ... urf).
+ *
+ * The paper draws most instances from RevLib and the TKet benchmark
+ * repository, which are not available offline; these generators emit
+ * structurally equivalent circuits — the same high-level IR patterns
+ * (CCX/MCX arithmetic, phase polynomials, trotterized Pauli
+ * rotations) with #2Q / depth in the ranges Table 1 reports — which
+ * is what every compiler pass keys on. All generators are
+ * deterministic in their (parameters, seed).
+ */
+
+#ifndef REQISC_SUITE_SUITE_HH
+#define REQISC_SUITE_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::suite
+{
+
+/** One benchmark program instance. */
+struct Benchmark
+{
+    std::string name;      //!< e.g. "alu_5_1"
+    std::string category;  //!< e.g. "alu"
+    circuit::Circuit circuit;  //!< high-level IR
+    /** Type-II = variational / Hamiltonian-simulation programs. */
+    bool isTypeII = false;
+};
+
+// ---- Type-I (digital-logic) generators -------------------------------
+
+/** ALU-style random reversible logic (CCX/CX/X mix). */
+Benchmark makeAlu(int qubits, int units, unsigned seed);
+
+/** Carry-save bit adder built from CCX/CX chains. */
+Benchmark makeBitAdder(int bits);
+
+/** Magnitude comparator a > b. */
+Benchmark makeComparator(int bits, unsigned seed);
+
+/** One-hot to binary encoder network. */
+Benchmark makeEncoding(int inputs, unsigned seed);
+
+/** Grover search with an MCX oracle (ancillas included). */
+Benchmark makeGrover(int search_qubits, int iterations = 2);
+
+/** Hidden-weighted-bit style controlled permutation network. */
+Benchmark makeHwb(int wires, unsigned seed);
+
+/** Modular incrementer (MCX cascade). */
+Benchmark makeModulo(int bits);
+
+/** Shift-and-add multiplier. */
+Benchmark makeMult(int bits);
+
+/** QFT with controlled-phase ladder. */
+Benchmark makeQft(int n);
+
+/** Cuccaro ripple-carry adder (MAJ / UMA blocks). */
+Benchmark makeRippleAdd(int bits);
+
+/** Squaring circuit (multiplier with shared operand). */
+Benchmark makeSquare(int bits);
+
+/** Symmetric-function (bit-counting) benchmark. */
+Benchmark makeSym(int inputs, unsigned seed);
+
+/** n-controlled Toffoli decomposition benchmark. */
+Benchmark makeTof(int controls);
+
+/** Large random reversible function (urf style). */
+Benchmark makeUrf(int wires, int units, unsigned seed);
+
+// ---- Type-II (Hamiltonian-simulation) generators ----------------------
+
+/** Product-formula (trotterized transverse-field Ising) circuit. */
+Benchmark makePf(int n, int steps, unsigned seed);
+
+/** QAOA MaxCut on a random 3-regular graph. */
+Benchmark makeQaoa(int n, int layers, unsigned seed);
+
+/** UCCSD-style Pauli-exponential ansatz. */
+Benchmark makeUccsd(int n, int excitations, unsigned seed);
+
+// ---- Suites ------------------------------------------------------------
+
+/**
+ * The benchmark suite: at least one instance per category; `full`
+ * scales counts/sizes toward the paper's Table 1 ranges.
+ */
+std::vector<Benchmark> standardSuite(bool full = false);
+
+/**
+ * Small (<= ~9 qubit) representative instances for the fidelity and
+ * verification experiments (Figs 15 and 16).
+ */
+std::vector<Benchmark> smallSuite();
+
+/** Medium instances for the topology-aware routing study (Fig 12). */
+std::vector<Benchmark> mediumSuite();
+
+} // namespace reqisc::suite
+
+#endif // REQISC_SUITE_SUITE_HH

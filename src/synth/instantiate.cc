@@ -1,0 +1,194 @@
+#include "synth/instantiate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qmath/svd.hh"
+
+namespace reqisc::synth
+{
+
+Slot
+Slot::free2Q(int a, int b)
+{
+    Slot s;
+    s.kind = Kind::Free;
+    s.qubits = {a, b};
+    s.value = Matrix::identity(4);
+    return s;
+}
+
+Slot
+Slot::free1Q(int q)
+{
+    Slot s;
+    s.kind = Kind::Free;
+    s.qubits = {q};
+    s.value = Matrix::identity(2);
+    return s;
+}
+
+Slot
+Slot::fixed(std::vector<int> qubits, Matrix m)
+{
+    Slot s;
+    s.kind = Kind::Fixed;
+    s.qubits = std::move(qubits);
+    s.value = std::move(m);
+    return s;
+}
+
+Matrix
+liftGate(const Matrix &g, const std::vector<int> &qubits,
+         int num_qubits)
+{
+    const int k = static_cast<int>(qubits.size());
+    const int dim = 1 << num_qubits;
+    const int sub = 1 << k;
+    assert(g.rows() == sub);
+    std::vector<int> shift(k);
+    for (int i = 0; i < k; ++i)
+        shift[i] = num_qubits - 1 - qubits[i];
+    Matrix out(dim, dim);
+    for (int r = 0; r < dim; ++r) {
+        // Decompose the row index into pair bits + rest.
+        int rp = 0;
+        for (int i = 0; i < k; ++i)
+            rp = (rp << 1) | ((r >> shift[i]) & 1);
+        int rest = r;
+        for (int i = 0; i < k; ++i)
+            rest &= ~(1 << shift[i]);
+        for (int cp = 0; cp < sub; ++cp) {
+            int c = rest;
+            for (int i = 0; i < k; ++i)
+                if (cp & (1 << (k - 1 - i)))
+                    c |= (1 << shift[i]);
+            out(r, c) = g(rp, cp);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Partial trace of E over all qubits except `qubits`:
+ * F[p, q] = sum_rest E[(q,rest), (p,rest)] arranged so the optimal
+ * free gate is the polar factor of F^dagger.
+ */
+Matrix
+environment(const Matrix &e, const std::vector<int> &qubits,
+            int num_qubits)
+{
+    const int k = static_cast<int>(qubits.size());
+    const int dim = 1 << num_qubits;
+    const int sub = 1 << k;
+    std::vector<int> shift(k);
+    for (int i = 0; i < k; ++i)
+        shift[i] = num_qubits - 1 - qubits[i];
+    int mask = 0;
+    for (int i = 0; i < k; ++i)
+        mask |= (1 << shift[i]);
+    std::vector<int> offs(sub);
+    for (int s = 0; s < sub; ++s) {
+        int o = 0;
+        for (int i = 0; i < k; ++i)
+            if (s & (1 << (k - 1 - i)))
+                o |= (1 << shift[i]);
+        offs[s] = o;
+    }
+    Matrix f(sub, sub);
+    for (int base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue;
+        for (int p = 0; p < sub; ++p)
+            for (int q = 0; q < sub; ++q)
+                f(q, p) += e(base | offs[q], base | offs[p]);
+    }
+    return f;
+}
+
+} // namespace
+
+InstantiateResult
+instantiate(const Matrix &target, int num_qubits,
+            const std::vector<Slot> &structure,
+            const InstantiateOptions &opts)
+{
+    const int dim = 1 << num_qubits;
+    assert(target.rows() == dim && target.cols() == dim);
+    const size_t m = structure.size();
+
+    InstantiateResult best;
+    qmath::Rng rng(opts.seed);
+
+    for (int restart = 0; restart < std::max(1, opts.restarts);
+         ++restart) {
+        std::vector<Slot> slots = structure;
+        // Initialize free slots: identity on the first attempt,
+        // random on subsequent restarts.
+        if (restart > 0) {
+            for (auto &s : slots)
+                if (s.kind == Slot::Kind::Free)
+                    s.value = qmath::randomUnitary(
+                        1 << s.qubits.size(), rng);
+        }
+
+        const Matrix tdag = target.dagger();
+        double last = 2.0;
+        int sweep = 0;
+        double infid = 1.0;
+        for (; sweep < opts.maxSweeps; ++sweep) {
+            // Lift all slot matrices once per sweep.
+            std::vector<Matrix> lifted(m);
+            for (size_t i = 0; i < m; ++i)
+                lifted[i] = liftGate(slots[i].value,
+                                     slots[i].qubits, num_qubits);
+            // Suffix products: after[i] = G_{m-1} ... G_{i+1}.
+            std::vector<Matrix> after(m + 1);
+            after[m] = Matrix::identity(dim);
+            for (int i = static_cast<int>(m) - 1; i >= 0; --i)
+                after[i] = after[i + 1] * lifted[i];
+            // Walk forward keeping before = G_{i-1} ... G_0.
+            Matrix before = Matrix::identity(dim);
+            for (size_t i = 0; i < m; ++i) {
+                if (slots[i].kind == Slot::Kind::Free) {
+                    // E = before * tdag * after_{i+1}; optimal gate
+                    // maximizes Re Tr(G_lift * E).
+                    const Matrix e = before * tdag * after[i + 1];
+                    const Matrix f =
+                        environment(e, slots[i].qubits, num_qubits);
+                    qmath::SvdResult sv = qmath::svd(f);
+                    // G = V U^dagger gives Tr(G F) = sum of singular
+                    // values (max over unitaries).
+                    slots[i].value = sv.v * sv.u.dagger();
+                    lifted[i] = liftGate(slots[i].value,
+                                         slots[i].qubits, num_qubits);
+                }
+                before = lifted[i] * before;
+            }
+            const Complex tr = (tdag * before).trace();
+            infid = 1.0 - std::abs(tr) / dim;
+            if (infid < opts.tol)
+                break;
+            // Stall detection: relative progress per sweep below
+            // 1e-3 after a warm-up means this basin will not reach
+            // the tolerance; restart instead of burning sweeps.
+            if (sweep > 24 && last - infid < 1e-3 * infid)
+                break;
+            last = infid;
+        }
+        if (infid < best.infidelity) {
+            best.infidelity = infid;
+            best.sweeps = sweep;
+            best.slots = slots;
+            best.converged = infid < opts.tol;
+        }
+        if (best.converged)
+            break;
+    }
+    return best;
+}
+
+} // namespace reqisc::synth

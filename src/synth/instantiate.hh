@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Numeric circuit instantiation (the QFactor fixed point).
+ *
+ * Given a fixed circuit structure — a sequence of slots, some holding
+ * frozen gates and some holding free unitaries on one or two qubits —
+ * alternately replace each free slot with the unitary that maximizes
+ * |Tr(target^dagger * circuit)| (the SVD of its environment tensor).
+ * This is the workhorse behind approximate synthesis, the 3-CNOT
+ * decomposition and the template library; it plays the role BQSKit's
+ * instantiation engine plays in the paper's artifact.
+ */
+
+#ifndef REQISC_SYNTH_INSTANTIATE_HH
+#define REQISC_SYNTH_INSTANTIATE_HH
+
+#include <vector>
+
+#include "qmath/matrix.hh"
+#include "qmath/random.hh"
+
+namespace reqisc::synth
+{
+
+using qmath::Complex;
+using qmath::Matrix;
+
+/** One position in the circuit structure being optimized. */
+struct Slot
+{
+    enum class Kind { Free, Fixed };
+
+    Kind kind = Kind::Free;
+    std::vector<int> qubits;  //!< one or two qubit indices
+    Matrix value;             //!< current (or frozen) unitary
+
+    static Slot free2Q(int a, int b);
+    static Slot free1Q(int q);
+    static Slot fixed(std::vector<int> qubits, Matrix m);
+};
+
+/** Options for the alternating optimization. */
+struct InstantiateOptions
+{
+    double tol = 1e-11;       //!< target infidelity 1 - |Tr|/2^n
+    int maxSweeps = 400;
+    int restarts = 3;         //!< random re-initializations
+    unsigned seed = 12345;
+};
+
+/** Outcome of an instantiation run. */
+struct InstantiateResult
+{
+    bool converged = false;
+    double infidelity = 1.0;
+    int sweeps = 0;
+    std::vector<Slot> slots;  //!< with optimized values filled in
+};
+
+/**
+ * Optimize the free slots to match the target unitary up to global
+ * phase. Slot order is circuit order: slots[0] acts first.
+ *
+ * @param target 2^n x 2^n unitary to match
+ * @param num_qubits register width n (<= 4 by design)
+ * @param slots circuit structure
+ */
+InstantiateResult instantiate(const Matrix &target, int num_qubits,
+                              const std::vector<Slot> &slots,
+                              const InstantiateOptions &opts = {});
+
+/** Lift a k-qubit gate matrix to the full register dimension. */
+Matrix liftGate(const Matrix &g, const std::vector<int> &qubits,
+                int num_qubits);
+
+} // namespace reqisc::synth
+
+#endif // REQISC_SYNTH_INSTANTIATE_HH

@@ -1,0 +1,333 @@
+#include "synth/synthesis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/lower.hh"
+#include "qmath/optimize.hh"
+#include "weyl/su2.hh"
+#include "weyl/weyl.hh"
+
+namespace reqisc::synth
+{
+
+using circuit::Gate;
+using circuit::Op;
+
+int
+su4LowerBound(int n)
+{
+    const double p = std::pow(4.0, n) - 3.0 * n - 1.0;
+    return static_cast<int>(std::ceil(p / 9.0));
+}
+
+int
+cnotLowerBound(int n)
+{
+    const double p = std::pow(4.0, n) - 3.0 * n - 1.0;
+    return static_cast<int>(std::ceil(p / 4.0));
+}
+
+namespace
+{
+
+/** Candidate pair sequences for a k-block structure on 3 qubits. */
+std::vector<std::vector<std::pair<int, int>>>
+threeQubitStructures(int k)
+{
+    const std::pair<int, int> pairs[3] = {{0, 1}, {1, 2}, {0, 2}};
+    std::vector<std::vector<std::pair<int, int>>> out;
+    // Cyclic patterns with the three possible phases, plus zig-zags.
+    for (int phase = 0; phase < 3; ++phase) {
+        std::vector<std::pair<int, int>> seq;
+        for (int i = 0; i < k; ++i)
+            seq.push_back(pairs[(phase + i) % 3]);
+        out.push_back(std::move(seq));
+    }
+    const int zig[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+    for (const auto &z : zig) {
+        std::vector<std::pair<int, int>> seq;
+        for (int i = 0; i < k; ++i)
+            seq.push_back(pairs[z[i % 2]]);
+        out.push_back(std::move(seq));
+    }
+    // Reverse-cyclic pattern (helps asymmetric targets).
+    {
+        std::vector<std::pair<int, int>> seq;
+        for (int i = 0; i < k; ++i)
+            seq.push_back(pairs[(2 * i) % 3]);
+        out.push_back(std::move(seq));
+    }
+    return out;
+}
+
+/** Emit optimized slots as gates, dropping identity 1Q layers. */
+std::vector<Gate>
+slotsToGates(const std::vector<Slot> &slots,
+             const std::vector<int> &qmap)
+{
+    std::vector<Gate> gates;
+    for (const auto &s : slots) {
+        if (s.qubits.size() == 1) {
+            if (!weyl::isIdentityUpToPhase(s.value, 1e-11))
+                gates.push_back(circuit::u3FromMatrix(
+                    qmap[s.qubits[0]], s.value));
+        } else {
+            gates.push_back(Gate::u4(qmap[s.qubits[0]],
+                                     qmap[s.qubits[1]], s.value));
+        }
+    }
+    return gates;
+}
+
+} // namespace
+
+SynthesisResult
+synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
+                const SynthesisOptions &opts)
+{
+    SynthesisResult res;
+    const int w = static_cast<int>(qubits.size());
+    assert(w == 2 || w == 3);
+    assert(target.rows() == (1 << w));
+
+    InstantiateOptions iopts;
+    iopts.tol = opts.tol;
+    iopts.restarts = opts.restarts;
+    iopts.seed = opts.seed;
+
+    if (w == 2) {
+        // A single block always suffices.
+        res.success = true;
+        res.infidelity = 0.0;
+        res.blockCount = 1;
+        res.gates.push_back(
+            Gate::u4(qubits[0], qubits[1], target));
+        return res;
+    }
+
+    // Zero blocks: purely local target.
+    {
+        std::vector<Slot> slots = {Slot::free1Q(0), Slot::free1Q(1),
+                                   Slot::free1Q(2)};
+        InstantiateResult r = instantiate(target, 3, slots, iopts);
+        if (r.converged) {
+            res.success = true;
+            res.infidelity = r.infidelity;
+            res.blockCount = 0;
+            res.gates = slotsToGates(r.slots, qubits);
+            return res;
+        }
+    }
+
+    auto tryBlockCount = [&](int k, int max_structures,
+                             SynthesisResult &slot_res) {
+        int tried = 0;
+        for (const auto &structure : threeQubitStructures(k)) {
+            if (max_structures > 0 && tried++ >= max_structures)
+                break;
+            std::vector<Slot> slots;
+            for (const auto &[a, b] : structure)
+                slots.push_back(Slot::free2Q(a, b));
+            // Trailing 1Q layer catches local residues on qubits the
+            // last blocks miss.
+            for (int q = 0; q < 3; ++q)
+                slots.push_back(Slot::free1Q(q));
+            InstantiateResult r =
+                instantiate(target, 3, slots, iopts);
+            if (r.converged) {
+                slot_res.success = true;
+                slot_res.infidelity = r.infidelity;
+                slot_res.blockCount = k;
+                slot_res.gates = slotsToGates(r.slots, qubits);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    if (opts.descending) {
+        // Start where convergence is guaranteed and walk down.
+        int k0 = std::min(6, opts.maxBlocks);
+        SynthesisResult best;
+        for (int k = k0; k <= opts.maxBlocks; ++k)
+            if (tryBlockCount(k, 3, best))
+                break;
+        if (!best.success)
+            return res;
+        for (int k = best.blockCount - 1; k >= 1; --k) {
+            SynthesisResult lower;
+            if (!tryBlockCount(k, 3, lower))
+                break;
+            best = lower;
+        }
+        return best;
+    }
+
+    for (int k = 1; k <= opts.maxBlocks; ++k) {
+        SynthesisResult found;
+        if (tryBlockCount(k, 0, found))
+            return found;
+    }
+    return res;
+}
+
+std::vector<Gate>
+su4ToCnots(int a, int b, const Matrix &u)
+{
+    weyl::KakDecomposition k = weyl::kakDecompose(u);
+    // Analytic classes first (0, 1, 2 CNOTs).
+    if (k.coord.norm1() < 1e-9 ||
+        k.coord.approxEqual(weyl::WeylCoord::cnot(), 1e-9) ||
+        std::abs(k.coord.z) < 1e-9)
+        return circuit::gateToCnotsAnalytic(a, b, u);
+
+    // Generic: instantiate the canonical 3-CX structure.
+    const Matrix cx = Gate::cx(0, 1).matrix();
+    std::vector<Slot> slots = {
+        Slot::free1Q(0), Slot::free1Q(1),
+        Slot::fixed({0, 1}, cx),
+        Slot::free1Q(0), Slot::free1Q(1),
+        Slot::fixed({0, 1}, cx),
+        Slot::free1Q(0), Slot::free1Q(1),
+        Slot::fixed({0, 1}, cx),
+        Slot::free1Q(0), Slot::free1Q(1),
+    };
+    InstantiateOptions iopts;
+    iopts.tol = 1e-11;
+    iopts.restarts = 4;
+    iopts.maxSweeps = 600;
+    InstantiateResult r = instantiate(u, 2, slots, iopts);
+    if (!r.converged) {
+        // Analytic 4-CX construction always works.
+        return circuit::gateToCnotsAnalytic(a, b, u);
+    }
+    std::vector<Gate> out;
+    const std::vector<int> qmap = {a, b};
+    for (const auto &s : r.slots) {
+        if (s.kind == Slot::Kind::Fixed) {
+            out.push_back(Gate::cx(a, b));
+        } else if (!weyl::isIdentityUpToPhase(s.value, 1e-11)) {
+            out.push_back(
+                circuit::u3FromMatrix(qmap[s.qubits[0]], s.value));
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Two-applications-of-basis fallback: optimize the middle 1Q layer's
+ * six Euler angles so that B (k1 x k2) B matches the target's Weyl
+ * coordinates, then wrap with conjugating locals. More reliable than
+ * alternating SVD on this tightly constrained structure (e.g. the
+ * known two-SQiSW CNOT).
+ */
+std::vector<Gate>
+twoBasisByCoordMatch(int a, int b, const Matrix &u, const Gate &proto)
+{
+    const Matrix bm = proto.matrix();
+    const weyl::WeylCoord target = weyl::weylCoordinate(u);
+    auto middle = [&](const std::vector<double> &t) {
+        const Matrix k1 = weyl::u3Matrix(t[0], t[1], t[2]);
+        const Matrix k2 = weyl::u3Matrix(t[3], t[4], t[5]);
+        return bm * kron(k1, k2) * bm;
+    };
+    auto objective = [&](const std::vector<double> &t) {
+        return weyl::weylCoordinate(middle(t)).distance(target);
+    };
+    qmath::Rng rng(4242);
+    std::uniform_real_distribution<double> d(-M_PI, M_PI);
+    for (int start = 0; start < 16; ++start) {
+        std::vector<double> x0(6);
+        for (double &v : x0)
+            v = start == 0 ? 0.0 : d(rng);
+        qmath::MinimizeResult r =
+            qmath::nelderMead(objective, x0, 0.8, 1e-16, 3000);
+        if (r.value > 1e-9)
+            continue;
+        const Matrix core = middle(r.x);
+        Matrix l1, l2, r1, r2;
+        if (!circuit::conjugateOnto(u, core, l1, l2, r1, r2))
+            continue;
+        std::vector<Gate> out;
+        auto emit1q = [&](int q, const Matrix &m) {
+            if (!weyl::isIdentityUpToPhase(m, 1e-11))
+                out.push_back(circuit::u3FromMatrix(q, m));
+        };
+        emit1q(a, r1);
+        emit1q(b, r2);
+        Gate g1 = proto;
+        g1.qubits = {a, b};
+        out.push_back(g1);
+        emit1q(a, weyl::u3Matrix(r.x[0], r.x[1], r.x[2]));
+        emit1q(b, weyl::u3Matrix(r.x[3], r.x[4], r.x[5]));
+        out.push_back(g1);
+        emit1q(a, l1);
+        emit1q(b, l2);
+        return out;
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<Gate>
+su4ToFixedBasis(int a, int b, const Matrix &u, Op basis)
+{
+    Gate proto;
+    switch (basis) {
+      case Op::SQISW: proto = Gate::sqisw(0, 1); break;
+      case Op::B: proto = Gate::bgate(0, 1); break;
+      case Op::CX: proto = Gate::cx(0, 1); break;
+      default:
+        assert(false && "unsupported fixed basis");
+        return {};
+    }
+    const Matrix bm = proto.matrix();
+    const std::vector<int> qmap = {a, b};
+    for (int k = 0; k <= 3; ++k) {
+        std::vector<Slot> slots = {Slot::free1Q(0), Slot::free1Q(1)};
+        for (int i = 0; i < k; ++i) {
+            slots.push_back(Slot::fixed({0, 1}, bm));
+            slots.push_back(Slot::free1Q(0));
+            slots.push_back(Slot::free1Q(1));
+        }
+        // Fixed-gate structures have a rougher optimization
+        // landscape than free-block ones; spend more restarts so
+        // the minimal k (e.g. two SQiSW for CNOT) is found reliably.
+        InstantiateOptions iopts;
+        iopts.tol = 1e-10;
+        iopts.restarts = 10;
+        iopts.maxSweeps = 600;
+        InstantiateResult r = instantiate(u, 2, slots, iopts);
+        if (!r.converged) {
+            if (k == 2) {
+                // Coordinate-matching fallback for the constrained
+                // two-application structure.
+                auto fb = twoBasisByCoordMatch(a, b, u, proto);
+                if (!fb.empty())
+                    return fb;
+            }
+            continue;
+        }
+        std::vector<Gate> out;
+        for (const auto &s : r.slots) {
+            if (s.kind == Slot::Kind::Fixed) {
+                Gate g = proto;
+                g.qubits = {a, b};
+                out.push_back(std::move(g));
+            } else if (!weyl::isIdentityUpToPhase(s.value, 1e-11)) {
+                out.push_back(
+                    circuit::u3FromMatrix(qmap[s.qubits[0]],
+                                          s.value));
+            }
+        }
+        return out;
+    }
+    return {};
+}
+
+} // namespace reqisc::synth

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pre-synthesized SU(4) template library for the 3-qubit IRs of
+ * real-world programs (Section 5.2.2).
+ *
+ * Each high-level IR (Toffoli, CCZ, controlled-SWAP, Peres) gets
+ * minimal-#SU(4) synthesis templates found once by the numeric
+ * engine, and an equivalent-circuit-class (ECC) expansion derived
+ * from self-invertibility and control-permutability, enabling the
+ * selective assembly that fuses adjacent SU(4)s on the same pair.
+ */
+
+#ifndef REQISC_SYNTH_TEMPLATES_HH
+#define REQISC_SYNTH_TEMPLATES_HH
+
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hh"
+
+namespace reqisc::synth
+{
+
+/** One ECC variant of a 3Q IR's SU(4) synthesis. */
+struct TemplateEntry
+{
+    /** Gates over role indices {0, 1, 2} ({U4, U3} ops). */
+    std::vector<circuit::Gate> gates;
+    int canCount = 0;         //!< number of 2Q blocks
+    /** Role pair of the first / last 2Q block (sorted). */
+    std::pair<int, int> firstPair{-1, -1};
+    std::pair<int, int> lastPair{-1, -1};
+};
+
+/** Lazily built singleton collection of synthesis templates. */
+class TemplateLibrary
+{
+  public:
+    /** The process-wide instance (templates built on first use). */
+    static TemplateLibrary &instance();
+
+    /** All ECC variants for a 3-qubit IR op. */
+    const std::vector<TemplateEntry> &variants(circuit::Op op);
+
+    /** The minimum SU(4) count over all variants of op. */
+    int minBlocks(circuit::Op op);
+
+    /**
+     * Pick the variant whose first 2Q block acts on `pair` (role
+     * indices) if one exists, else the smallest variant.
+     */
+    const TemplateEntry &pick(circuit::Op op,
+                              std::pair<int, int> preferred_first);
+
+  private:
+    TemplateLibrary() = default;
+
+    void build(circuit::Op op);
+
+    std::map<circuit::Op, std::vector<TemplateEntry>> lib_;
+};
+
+} // namespace reqisc::synth
+
+#endif // REQISC_SYNTH_TEMPLATES_HH

@@ -1,0 +1,37 @@
+#include "uarch/calibration.hh"
+
+namespace reqisc::uarch
+{
+
+CalibrationPlan
+planCalibration(const circuit::Circuit &c, const Coupling &cpl,
+                double cluster_tol)
+{
+    CalibrationPlan plan;
+    GateScheme scheme(cpl);
+    for (const auto &g : c) {
+        if (!g.is2Q())
+            continue;
+        const weyl::WeylCoord coord = g.weylCoord();
+        bool found = false;
+        for (auto &e : plan.entries) {
+            if (e.coord.approxEqual(coord, cluster_tol)) {
+                ++e.uses;
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
+        CalibrationEntry e;
+        e.coord = coord;
+        e.uses = 1;
+        e.pulse = scheme.solveCoord(coord);
+        if (!e.pulse.converged)
+            ++plan.unsolved;
+        plan.entries.push_back(std::move(e));
+    }
+    return plan;
+}
+
+} // namespace reqisc::uarch

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Calibration planning (Sections 6.5 / 6.5.1).
+ *
+ * A compiled program's calibration workload is proportional to its
+ * number of *distinct* SU(4) classes: each class is pulse-solved once
+ * (model-based parameter generation) and then characterized on
+ * hardware. This module clusters a circuit's 2Q gates into classes,
+ * solves each once with the genAshN scheme, and reports the total
+ * cost under a simple linear model — the quantity Figs 13/14 track.
+ */
+
+#ifndef REQISC_UARCH_CALIBRATION_HH
+#define REQISC_UARCH_CALIBRATION_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "uarch/genashn.hh"
+
+namespace reqisc::uarch
+{
+
+/** One calibration entry: a distinct SU(4) class and its pulse. */
+struct CalibrationEntry
+{
+    weyl::WeylCoord coord;   //!< class representative
+    int uses = 0;            //!< gates in the program using it
+    PulseSolution pulse;     //!< model-generated parameters
+};
+
+/** A full calibration schedule for one program + coupling. */
+struct CalibrationPlan
+{
+    std::vector<CalibrationEntry> entries;
+    int unsolved = 0;        //!< classes the solver could not reach
+
+    int distinctGates() const
+    {
+        return static_cast<int>(entries.size());
+    }
+
+    /**
+     * Total calibration cost under the linear model of Section
+     * 6.5.1: fixed characterization cost + per-class experiments.
+     */
+    double cost(double base_cost = 1.0,
+                double per_gate_cost = 1.0) const
+    {
+        return base_cost + per_gate_cost * entries.size();
+    }
+};
+
+/**
+ * Build the calibration plan for a compiled {Can, U3} circuit on the
+ * given coupling. Gates are clustered by Weyl coordinate with the
+ * given tolerance; each class is solved once.
+ */
+CalibrationPlan planCalibration(const circuit::Circuit &c,
+                                const Coupling &cpl,
+                                double cluster_tol = 1e-6);
+
+} // namespace reqisc::uarch
+
+#endif // REQISC_UARCH_CALIBRATION_HH

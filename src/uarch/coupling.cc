@@ -1,0 +1,224 @@
+#include "uarch/coupling.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "qmath/eig.hh"
+
+namespace reqisc::uarch
+{
+
+using qmath::pauliI;
+using qmath::pauliX;
+using qmath::pauliY;
+using qmath::pauliZ;
+
+Matrix
+Coupling::hamiltonian() const
+{
+    return qmath::pauliXX() * Complex(a, 0.0) +
+           qmath::pauliYY() * Complex(b, 0.0) +
+           qmath::pauliZZ() * Complex(c, 0.0);
+}
+
+Coupling
+Coupling::random(qmath::Rng &rng, double g)
+{
+    // Sample (a, b, |c|) uniformly on the simplex a + b + |c| = 1,
+    // sort descending to enforce canonical ordering, random c sign.
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    while (true) {
+        double v1 = u(rng), v2 = u(rng);
+        double lo = std::min(v1, v2), hi = std::max(v1, v2);
+        std::array<double, 3> s = {lo, hi - lo, 1.0 - hi};
+        std::sort(s.begin(), s.end(), std::greater<double>());
+        if (s[0] <= 1e-9)
+            continue;
+        double sign = (u(rng) < 0.5) ? -1.0 : 1.0;
+        return {g * s[0], g * s[1], g * s[2] * sign};
+    }
+}
+
+Matrix
+HamiltonianNormalForm::reconstruct() const
+{
+    const Matrix frame = kron(u1, u2);
+    Matrix h = frame * coupling.hamiltonian() * frame.dagger();
+    h += kron(h1local, Matrix::identity(2));
+    h += kron(Matrix::identity(2), h2local);
+    h += Matrix::identity(4) * Complex(traceTerm, 0.0);
+    return h;
+}
+
+Matrix
+su2FromSo3(const double r[3][3])
+{
+    // Shepperd-style quaternion extraction, then
+    // U = w I - i (x X + y Y + z Z).
+    const double tr = r[0][0] + r[1][1] + r[2][2];
+    double w, x, y, z;
+    if (tr > 0.0) {
+        double s = std::sqrt(tr + 1.0) * 2.0;
+        w = 0.25 * s;
+        x = (r[2][1] - r[1][2]) / s;
+        y = (r[0][2] - r[2][0]) / s;
+        z = (r[1][0] - r[0][1]) / s;
+    } else if (r[0][0] > r[1][1] && r[0][0] > r[2][2]) {
+        double s = std::sqrt(1.0 + r[0][0] - r[1][1] - r[2][2]) * 2.0;
+        w = (r[2][1] - r[1][2]) / s;
+        x = 0.25 * s;
+        y = (r[0][1] + r[1][0]) / s;
+        z = (r[0][2] + r[2][0]) / s;
+    } else if (r[1][1] > r[2][2]) {
+        double s = std::sqrt(1.0 + r[1][1] - r[0][0] - r[2][2]) * 2.0;
+        w = (r[0][2] - r[2][0]) / s;
+        x = (r[0][1] + r[1][0]) / s;
+        y = 0.25 * s;
+        z = (r[1][2] + r[2][1]) / s;
+    } else {
+        double s = std::sqrt(1.0 + r[2][2] - r[0][0] - r[1][1]) * 2.0;
+        w = (r[1][0] - r[0][1]) / s;
+        x = (r[0][2] + r[2][0]) / s;
+        y = (r[1][2] + r[2][1]) / s;
+        z = 0.25 * s;
+    }
+    Matrix u = pauliI() * Complex(w, 0.0);
+    u -= pauliX() * Complex(0.0, x);
+    u -= pauliY() * Complex(0.0, y);
+    u -= pauliZ() * Complex(0.0, z);
+    return u;
+}
+
+void
+so3FromSu2(const Matrix &u, double r[3][3])
+{
+    const Matrix paulis[3] = {pauliX(), pauliY(), pauliZ()};
+    for (int i = 0; i < 3; ++i) {
+        const Matrix rot = u * paulis[i] * u.dagger();
+        for (int j = 0; j < 3; ++j)
+            r[j][i] = 0.5 * qmath::hsInner(paulis[j], rot).real();
+    }
+}
+
+namespace
+{
+
+double
+det3(const double m[3][3])
+{
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+/**
+ * Real SVD of a 3x3 matrix with descending singular values, built on
+ * the real symmetric eigensolver (all factors exactly real).
+ */
+void
+realSvd3(const double k[3][3], double u[3][3], double d[3],
+         double v[3][3])
+{
+    Matrix km(3, 3);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            km(i, j) = k[i][j];
+    Matrix ktk = km.transpose() * km;
+    qmath::EigResult e = qmath::eighReal(ktk);
+    // Descending order (eighReal sorts ascending).
+    for (int j = 0; j < 3; ++j) {
+        const int src = 2 - j;
+        d[j] = std::sqrt(std::max(0.0, e.values[src]));
+        for (int i = 0; i < 3; ++i)
+            v[i][j] = e.vectors(i, src).real();
+    }
+    // u_j = K v_j / d_j, completed orthonormally for tiny d_j.
+    for (int j = 0; j < 3; ++j) {
+        double col[3] = {0, 0, 0};
+        for (int i = 0; i < 3; ++i)
+            for (int l = 0; l < 3; ++l)
+                col[i] += k[i][l] * v[l][j];
+        double nrm = std::sqrt(col[0] * col[0] + col[1] * col[1] +
+                               col[2] * col[2]);
+        if (nrm > 1e-12 * (1.0 + d[0])) {
+            for (int i = 0; i < 3; ++i)
+                u[i][j] = col[i] / nrm;
+        } else {
+            // Orthonormal completion against previous columns.
+            for (int cand = 0; cand < 3; ++cand) {
+                double e3[3] = {0, 0, 0};
+                e3[cand] = 1.0;
+                for (int p = 0; p < j; ++p) {
+                    double dot = 0;
+                    for (int i = 0; i < 3; ++i)
+                        dot += u[i][p] * e3[i];
+                    for (int i = 0; i < 3; ++i)
+                        e3[i] -= dot * u[i][p];
+                }
+                double n2 = std::sqrt(e3[0] * e3[0] + e3[1] * e3[1] +
+                                      e3[2] * e3[2]);
+                if (n2 > 0.3) {
+                    for (int i = 0; i < 3; ++i)
+                        u[i][j] = e3[i] / n2;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+HamiltonianNormalForm
+normalForm(const Matrix &h)
+{
+    assert(h.rows() == 4 && h.isHermitian(1e-8));
+    const Matrix paulis[4] = {pauliI(), pauliX(), pauliY(), pauliZ()};
+
+    // Pauli coefficients h_ij = Tr[(s_i (x) s_j) H] / 4.
+    double coef[4][4];
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            coef[i][j] = 0.25 *
+                qmath::hsInner(kron(paulis[i], paulis[j]), h).real();
+
+    HamiltonianNormalForm nf;
+    nf.traceTerm = coef[0][0];
+    nf.h1local = Matrix::zeros(2, 2);
+    nf.h2local = Matrix::zeros(2, 2);
+    for (int i = 1; i < 4; ++i) {
+        nf.h1local += paulis[i] * Complex(coef[i][0], 0.0);
+        nf.h2local += paulis[i] * Complex(coef[0][i], 0.0);
+    }
+
+    // Nonlocal block: K = R1 diag(a,b,c) R2^T with R1, R2 in SO(3);
+    // conjugating by the lifted locals (U1 (x) U2)^dagger turns the
+    // interaction into a XX + b YY + c ZZ.
+    double k[3][3];
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            k[i][j] = coef[i + 1][j + 1];
+    double r1[3][3], r2[3][3], d[3];
+    realSvd3(k, r1, d, r2);
+    // Push the factors into SO(3); each flip negates the smallest
+    // singular value, which lands the sign on c as the canonical form
+    // wants (a >= b >= |c| holds since d is sorted descending).
+    if (det3(r1) < 0.0) {
+        for (int i = 0; i < 3; ++i)
+            r1[i][2] = -r1[i][2];
+        d[2] = -d[2];
+    }
+    if (det3(r2) < 0.0) {
+        for (int i = 0; i < 3; ++i)
+            r2[i][2] = -r2[i][2];
+        d[2] = -d[2];
+    }
+
+    nf.coupling = {d[0], d[1], d[2]};
+    nf.u1 = su2FromSo3(r1);
+    nf.u2 = su2FromSo3(r2);
+    return nf;
+}
+
+} // namespace reqisc::uarch

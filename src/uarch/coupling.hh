@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Two-qubit coupling Hamiltonians and their canonical normal form.
+ *
+ * Every two-qubit interaction H splits as
+ *   H = (U1 (x) U2)(a XX + b YY + c ZZ)(U1 (x) U2)^dagger
+ *       + H'_1 (x) I + I (x) H'_2  (+ trace term)
+ * with a >= b >= |c| (Bennett et al., Dur et al.). The genAshN solver
+ * works in the canonical frame and maps its drives back through
+ * (U1, U2, H'_1, H'_2).
+ */
+
+#ifndef REQISC_UARCH_COUPLING_HH
+#define REQISC_UARCH_COUPLING_HH
+
+#include "qmath/matrix.hh"
+#include "qmath/random.hh"
+
+namespace reqisc::uarch
+{
+
+using qmath::Complex;
+using qmath::Matrix;
+
+/** Canonical coupling coefficients a >= b >= |c|, a > 0. */
+struct Coupling
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+
+    /** Coupling strength g := a + b + |c| (paper Eq. 3). */
+    double strength() const { return a + b + std::abs(c); }
+
+    /** The matrix a XX + b YY + c ZZ. */
+    Matrix hamiltonian() const;
+
+    bool isCanonical(double tol = 1e-12) const
+    {
+        return a >= b - tol && b >= std::abs(c) - tol && a > 0.0;
+    }
+
+    /** XY coupling (g/2)(XX + YY): flux-tunable transmons. */
+    static Coupling xy(double g = 1.0) { return {g / 2.0, g / 2.0,
+                                                 0.0}; }
+
+    /** XX coupling g XX: trapped ions / lab-frame transmons. */
+    static Coupling xx(double g = 1.0) { return {g, 0.0, 0.0}; }
+
+    /** Random canonical coupling normalized to strength g. */
+    static Coupling random(qmath::Rng &rng, double g = 1.0);
+};
+
+/** Result of putting an arbitrary 2Q Hamiltonian in normal form. */
+struct HamiltonianNormalForm
+{
+    Coupling coupling;
+    Matrix u1, u2;          //!< local frame change (SU(2) each)
+    Matrix h1local, h2local; //!< residual local parts H'_1, H'_2 (2x2)
+    double traceTerm = 0.0;  //!< identity component (ignorable phase)
+
+    /** Reassemble the 4x4 Hamiltonian from the parts. */
+    Matrix reconstruct() const;
+};
+
+/**
+ * Canonical normal form of an arbitrary Hermitian 4x4 interaction
+ * (Algorithm 1, line 2).
+ */
+HamiltonianNormalForm normalForm(const Matrix &h);
+
+/**
+ * Lift an SO(3) rotation to SU(2): returns U with
+ * U sigma_i U^dagger = sum_j R_ji sigma_j.
+ */
+Matrix su2FromSo3(const double r[3][3]);
+
+/** Adjoint rotation of an SU(2) element (the inverse of the lift). */
+void so3FromSu2(const Matrix &u, double r[3][3]);
+
+} // namespace reqisc::uarch
+
+#endif // REQISC_UARCH_COUPLING_HH

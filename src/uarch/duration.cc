@@ -1,0 +1,86 @@
+#include "uarch/duration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace reqisc::uarch
+{
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+
+} // namespace
+
+const char *
+subSchemeName(SubScheme s)
+{
+    switch (s) {
+      case SubScheme::ND: return "ND";
+      case SubScheme::EAPlus: return "EA+";
+      case SubScheme::EAMinus: return "EA-";
+    }
+    return "?";
+}
+
+DurationInfo
+durationInfo(const Coupling &cpl, const weyl::WeylCoord &c)
+{
+    assert(cpl.isCanonical(1e-9));
+    const double a = cpl.a, b = cpl.b, cc = cpl.c;
+    const double x = c.x, y = c.y, z = c.z;
+
+    // Direct branch.
+    const double t0 = x / a;
+    const double tp = (x + y - z) / (a + b - cc);
+    const double tm = (x + y + z) / (a + b + cc);
+    const double tau1 = std::max({t0, tp, tm});
+
+    // Mirrored branch (x -> pi/2 - x, z -> -z).
+    const double xm = kPi / 2.0 - x;
+    const double t0b = xm / a;
+    const double tpb = (xm + y + z) / (a + b - cc);
+    const double tmb = (xm + y - z) / (a + b + cc);
+    const double tau2 = std::max({t0b, tpb, tmb});
+
+    DurationInfo info;
+    info.tau1 = tau1;
+    info.tau2 = tau2;
+    info.usesMirrorBranch = tau2 < tau1;
+    info.tau = std::min(tau1, tau2);
+
+    double ex = x, ez = z, e0 = t0, ep = tp, em = tm;
+    if (info.usesMirrorBranch) {
+        ex = xm;
+        ez = -z;
+        e0 = t0b;
+        ep = tpb;
+        em = tmb;
+    }
+    info.effective = {ex, y, ez};
+
+    // The binding constraint selects the subscheme.
+    if (e0 >= ep && e0 >= em)
+        info.scheme = SubScheme::ND;
+    else if (ep >= em)
+        info.scheme = SubScheme::EAPlus;
+    else
+        info.scheme = SubScheme::EAMinus;
+    return info;
+}
+
+double
+optimalDuration(const Coupling &cpl, const weyl::WeylCoord &c)
+{
+    return durationInfo(cpl, c).tau;
+}
+
+double
+conventionalCnotDuration(double g)
+{
+    return kPi / (std::sqrt(2.0) * g);
+}
+
+} // namespace reqisc::uarch

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Time-optimal two-qubit gate durations (Hammerer-Vidal-Cirac bound).
+ *
+ * Given canonical coupling coefficients (a, b, c) and a target Weyl
+ * coordinate (x, y, z), the minimum evolution time with unbounded
+ * local drives is tau_opt = min(tau1, tau2) where tau1 covers the
+ * direct coordinate and tau2 its x -> pi/2 - x, z -> -z mirror
+ * (Algorithm 1, lines 3-7 / Appendix A.1.3).
+ */
+
+#ifndef REQISC_UARCH_DURATION_HH
+#define REQISC_UARCH_DURATION_HH
+
+#include "uarch/coupling.hh"
+#include "weyl/weyl.hh"
+
+namespace reqisc::uarch
+{
+
+/** Micro-op execution modes of the genAshN scheme. */
+enum class SubScheme
+{
+    ND,       //!< no detuning (delta = 0)
+    EAPlus,   //!< equal amplitudes, opposite signs (Omega1 = 0)
+    EAMinus,  //!< equal amplitudes, same sign (Omega2 = 0)
+};
+
+const char *subSchemeName(SubScheme s);
+
+/** Breakdown of the duration computation. */
+struct DurationInfo
+{
+    double tau = 0.0;        //!< optimal duration
+    double tau1 = 0.0;       //!< direct-branch bound
+    double tau2 = 0.0;       //!< mirrored-branch bound
+    bool usesMirrorBranch = false;  //!< tau2 < tau1
+    SubScheme scheme = SubScheme::ND;
+    /** Coordinate actually steered to (transformed if tau2 branch). */
+    weyl::WeylCoord effective;
+};
+
+/** Full breakdown for a coordinate. */
+DurationInfo durationInfo(const Coupling &cpl,
+                          const weyl::WeylCoord &c);
+
+/** Just the optimal time. */
+double optimalDuration(const Coupling &cpl, const weyl::WeylCoord &c);
+
+/**
+ * Duration of the conventional (baseline) pulse implementation used
+ * for CNOT-based ISAs on XY-coupled transmons: tau = pi / (sqrt(2) g)
+ * per CNOT (Krantz et al.); SWAP costs three CNOTs.
+ */
+double conventionalCnotDuration(double g = 1.0);
+
+} // namespace reqisc::uarch
+
+#endif // REQISC_UARCH_DURATION_HH

@@ -1,0 +1,58 @@
+#include "weyl/su2.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace reqisc::weyl
+{
+
+using qmath::Complex;
+using qmath::Matrix;
+
+Matrix
+u3Matrix(double theta, double phi, double lambda)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    Matrix m(2, 2);
+    m(0, 0) = c;
+    m(0, 1) = -std::exp(Complex(0.0, lambda)) * s;
+    m(1, 0) = std::exp(Complex(0.0, phi)) * s;
+    m(1, 1) = std::exp(Complex(0.0, phi + lambda)) * c;
+    return m;
+}
+
+U3Angles
+u3Angles(const Matrix &u)
+{
+    assert(u.rows() == 2 && u.cols() == 2);
+    U3Angles a;
+    const double c = std::abs(u(0, 0));
+    const double s = std::abs(u(1, 0));
+    a.theta = 2.0 * std::atan2(s, c);
+    const double eps = 1e-12;
+    if (c > eps && s > eps) {
+        a.phase = std::arg(u(0, 0));
+        a.phi = std::arg(u(1, 0)) - a.phase;
+        a.lambda = std::arg(-u(0, 1)) - a.phase;
+    } else if (c > eps) {
+        // Diagonal gate: only phi + lambda is physical.
+        a.phase = std::arg(u(0, 0));
+        a.phi = 0.0;
+        a.lambda = std::arg(u(1, 1)) - a.phase;
+    } else {
+        // Anti-diagonal gate (theta = pi): only phi - lambda matters.
+        a.phase = std::arg(u(1, 0));
+        a.phi = 0.0;
+        a.lambda = std::arg(-u(0, 1)) - a.phase;
+    }
+    return a;
+}
+
+bool
+isIdentityUpToPhase(const Matrix &u, double tol)
+{
+    return u.approxEqualUpToPhase(Matrix::identity(u.rows()), tol);
+}
+
+} // namespace reqisc::weyl

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * One-qubit gate parameterization (U3 Euler angles).
+ *
+ * The compiler emits circuits over the {Can, U3} gate set, so every
+ * 2x2 local factor produced by KAK or synthesis must be expressible as
+ * U3(theta, phi, lambda) up to a tracked global phase.
+ */
+
+#ifndef REQISC_WEYL_SU2_HH
+#define REQISC_WEYL_SU2_HH
+
+#include "qmath/matrix.hh"
+
+namespace reqisc::weyl
+{
+
+/** Euler angles with the global phase of the input. */
+struct U3Angles
+{
+    double theta = 0.0;
+    double phi = 0.0;
+    double lambda = 0.0;
+    double phase = 0.0;   //!< input = e^{i phase} * U3(theta,phi,lambda)
+};
+
+/**
+ * The standard U3 matrix
+ *   [[cos(t/2),            -e^{i l} sin(t/2)],
+ *    [e^{i p} sin(t/2),  e^{i(p+l)} cos(t/2)]].
+ */
+qmath::Matrix u3Matrix(double theta, double phi, double lambda);
+
+/** Extract Euler angles from an arbitrary 2x2 unitary. */
+U3Angles u3Angles(const qmath::Matrix &u);
+
+/** True iff u is the identity up to global phase. */
+bool isIdentityUpToPhase(const qmath::Matrix &u, double tol = 1e-9);
+
+} // namespace reqisc::weyl
+
+#endif // REQISC_WEYL_SU2_HH

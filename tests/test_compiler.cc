@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the compiler passes, pipelines and baselines. The core
+ * invariant: every pass and pipeline preserves circuit semantics up
+ * to global phase (and the tracked output permutation for mirroring).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/lower.hh"
+#include "compiler/baselines.hh"
+#include "compiler/metrics.hh"
+#include "compiler/passes.hh"
+#include "compiler/pipeline.hh"
+#include "qmath/random.hh"
+#include "qsim/statevector.hh"
+#include "test_util.hh"
+
+using namespace reqisc;
+using namespace reqisc::circuit;
+using namespace reqisc::compiler;
+using namespace reqisc::qmath;
+
+namespace
+{
+
+/** Small mixed test circuit with high-level and low-level gates. */
+Circuit
+mixedCircuit(int seed)
+{
+    Rng rng(seed);
+    std::uniform_real_distribution<double> ang(-1.5, 1.5);
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::t(1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::rz(2, ang(rng)));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::rx(3, ang(rng)));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::ccx(1, 2, 3));
+    c.add(Gate::h(3));
+    c.add(Gate::cx(0, 3));
+    return c;
+}
+
+/** Semantics check up to phase and an output permutation. */
+::testing::AssertionResult
+sameSemantics(const Circuit &a, const Circuit &b,
+              const std::vector<int> &perm_b, double tol = 1e-6)
+{
+    Matrix ua = qsim::buildUnitary(a);
+    Matrix ub = perm_b.empty()
+        ? qsim::buildUnitary(b)
+        : qsim::buildUnitaryWithPermutation(b, perm_b);
+    if (ua.approxEqualUpToPhase(ub, tol))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "circuits differ, fidelity="
+           << qmath::traceFidelity(ua, ub);
+}
+
+} // namespace
+
+TEST(Passes, Fuse1QPreservesSemantics)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::t(0));
+    c.add(Gate::s(0));
+    c.add(Gate::x(1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::rz(1, 0.3));
+    c.add(Gate::rx(1, 0.7));
+    Circuit f = fuse1Q(c);
+    EXPECT_TRUE(sameSemantics(c, f, {}));
+    // The three leading 1Q gates merge into one U3.
+    EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(Passes, Fuse1QDropsIdentity)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    Circuit f = fuse1Q(c);
+    EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(Passes, Fuse2QBlocksMergesRuns)
+{
+    Circuit c = mixedCircuit(3);
+    Circuit low = lowerThreeQubit(c);
+    Circuit f = fuse2QBlocks(fuse1Q(low));
+    EXPECT_TRUE(sameSemantics(low, f, {}));
+    // The CX-T-CX runs on a pair collapse into single U4s.
+    EXPECT_LT(f.count2Q(), low.count2Q());
+}
+
+TEST(Passes, Fuse2QBlocksParallelPairs)
+{
+    Circuit c(4);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(2, 3));
+    Circuit f = fuse2QBlocks(c);
+    EXPECT_TRUE(sameSemantics(c, f, {}));
+    EXPECT_EQ(f.count2Q(), 2);
+}
+
+TEST(Passes, Partition3QCoversAllGates)
+{
+    Circuit c = fuse2QBlocks(fuse1Q(lowerThreeQubit(
+        mixedCircuit(5))));
+    auto blocks = partition3Q(c);
+    size_t total = 0;
+    for (const auto &b : blocks) {
+        EXPECT_LE(b.qubits.size(), 3u);
+        total += b.gates.size();
+    }
+    EXPECT_EQ(total, c.size());
+    Circuit re = blocksToCircuit(blocks, c.numQubits());
+    EXPECT_TRUE(sameSemantics(c, re, {}));
+}
+
+TEST(Passes, DagCompactPreservesSemantics)
+{
+    Rng rng(31);
+    Circuit c(4);
+    // Chain of overlapping random SU(4)s, the compacting target.
+    for (int i = 0; i < 6; ++i) {
+        int a = i % 3;
+        c.add(Gate::u4(a, a + 1, randomUnitary(4, rng)));
+    }
+    Circuit d = dagCompact(c);
+    EXPECT_TRUE(sameSemantics(c, d, {}, 1e-4));
+    EXPECT_LE(compactnessScore(d), compactnessScore(c));
+}
+
+TEST(Passes, HierarchicalSynthesisReducesCount)
+{
+    // A CCX-pair circuit in CX basis has 12+ 2Q gates; hierarchical
+    // synthesis must cut it substantially.
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::ccx(0, 2, 1));
+    Circuit low = lowerThreeQubit(c);
+    ASSERT_GE(low.count2Q(), 12);
+    Circuit h = hierarchicalSynthesis(low);
+    EXPECT_TRUE(sameSemantics(low, h, {}, 1e-3));
+    EXPECT_LE(h.count2Q(), 7);
+}
+
+TEST(Passes, MirrorNearIdentityTracksPermutation)
+{
+    Rng rng(37);
+    Circuit c(3);
+    // A near-identity CAN plus regular gates.
+    c.add(Gate::h(0));
+    c.add(Gate::can(0, 1, {0.02, 0.01, 0.0}));
+    c.add(Gate::cx(1, 2));
+    c.add(Gate::can(1, 2, {0.03, 0.0, 0.0}));
+    std::vector<int> perm;
+    Circuit m = mirrorNearIdentity(c, perm, 0.1);
+    EXPECT_TRUE(sameSemantics(c, m, perm));
+    // Both near-identity gates were mirrored; #2Q unchanged.
+    EXPECT_EQ(m.count2Q(), c.count2Q());
+    // All remaining 2Q gates are far from identity.
+    for (const Gate &g : m) {
+        if (g.is2Q()) {
+            EXPECT_GT(g.weylCoord().norm1(), 0.1);
+        }
+    }
+}
+
+TEST(Passes, MirrorIdentityPermWhenNothingNearIdentity)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    std::vector<int> perm;
+    Circuit m = mirrorNearIdentity(c, perm, 0.05);
+    EXPECT_EQ(perm, (std::vector<int>{0, 1}));
+    EXPECT_TRUE(sameSemantics(c, m, perm));
+}
+
+TEST(Passes, GroupPauliRotationsEnablesFusion)
+{
+    Circuit c(3);
+    c.add(Gate::rzz(0, 1, 0.3));
+    c.add(Gate::rzz(1, 2, 0.4));
+    c.add(Gate::rzz(0, 1, 0.5));
+    Circuit g = groupPauliRotations(c);
+    EXPECT_TRUE(sameSemantics(c, g, {}));
+    Circuit f = fuse2QBlocks(g);
+    EXPECT_EQ(f.count2Q(), 2);  // the two (0,1) rotations merged
+}
+
+TEST(Passes, CancelAdjacentCx)
+{
+    Circuit c(3);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cx(1, 2));
+    c.add(Gate::h(0));   // does not block the (1,2) pair
+    c.add(Gate::cx(1, 2));
+    Circuit f = cancelAdjacentCx(c);
+    EXPECT_TRUE(sameSemantics(c, f, {}));
+    EXPECT_EQ(f.countOp(Op::CX), 0);
+}
+
+TEST(Pipeline, TemplateSynthesisCorrectAndSmall)
+{
+    Circuit c(4);
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::ccx(1, 2, 3));
+    c.add(Gate::cx(0, 3));
+    Circuit t = templateSynthesis(c);
+    EXPECT_TRUE(sameSemantics(c, t, {}, 1e-3));
+    // Each CCX costs at most 5 SU(4)s, far below the 6-CX unrolling.
+    EXPECT_LE(t.count2Q(), 11);
+}
+
+TEST(Pipeline, EffPreservesSemantics)
+{
+    Circuit c = mixedCircuit(41);
+    CompileResult r = reqiscEff(c);
+    EXPECT_TRUE(sameSemantics(c, r.circuit, r.finalPermutation,
+                              1e-4));
+    for (const Gate &g : r.circuit)
+        EXPECT_TRUE(g.op == Op::CAN || g.op == Op::U3);
+}
+
+TEST(Pipeline, FullPreservesSemanticsAndReduces)
+{
+    Circuit c = mixedCircuit(43);
+    Circuit low = lowerToCnot3(c);
+    CompileResult eff = reqiscEff(c);
+    CompileResult full = reqiscFull(c);
+    EXPECT_TRUE(sameSemantics(c, full.circuit,
+                              full.finalPermutation, 1e-3));
+    EXPECT_LE(full.circuit.count2Q(), eff.circuit.count2Q());
+    EXPECT_LT(eff.circuit.count2Q(), low.count2Q());
+}
+
+TEST(Pipeline, EffHasFewDistinctSU4)
+{
+    // Template-based compilation keeps the calibration set small.
+    Circuit c(5);
+    for (int i = 0; i < 3; ++i) {
+        c.add(Gate::ccx(i, i + 1, i + 2));
+        c.add(Gate::cx(i, i + 1));
+    }
+    CompileResult r = reqiscEff(c);
+    EXPECT_LE(r.circuit.countDistinctSU4(1e-6), 10);
+}
+
+TEST(Pipeline, NoCompactingAblationStillCorrect)
+{
+    Circuit c = mixedCircuit(47);
+    CompileOptions opts;
+    opts.dagCompacting = false;
+    CompileResult r = reqiscFull(c, opts);
+    EXPECT_TRUE(sameSemantics(c, r.circuit, r.finalPermutation,
+                              1e-3));
+}
+
+TEST(Baselines, QiskitLikePreservesAndReduces)
+{
+    Circuit c = mixedCircuit(53);
+    Circuit low = lowerToCnot3(c);
+    Circuit q = qiskitLike(c);
+    EXPECT_TRUE(sameSemantics(c, q, {}, 1e-4));
+    EXPECT_LE(q.count2Q(), low.count2Q());
+    for (const Gate &g : q)
+        EXPECT_TRUE(g.numQubits() == 1 || g.op == Op::CX);
+}
+
+TEST(Baselines, TketLikeMergesRotations)
+{
+    Circuit c(3);
+    c.add(Gate::rzz(0, 1, 0.3));
+    c.add(Gate::rzz(1, 2, 0.4));
+    c.add(Gate::rzz(0, 1, 0.5));
+    c.add(Gate::rx(0, 0.2));
+    Circuit t = tketLike(c);
+    EXPECT_TRUE(sameSemantics(c, t, {}, 1e-4));
+    // Merged (0,1) rotations: 2 + 2 CX instead of 6.
+    EXPECT_LE(t.countOp(Op::CX), 4);
+}
+
+TEST(Baselines, BqskitLikeResynthesizes)
+{
+    Circuit c(3);
+    c.add(Gate::ccx(0, 1, 2));
+    c.add(Gate::ccx(0, 2, 1));
+    Circuit b = bqskitLike(c);
+    EXPECT_TRUE(sameSemantics(c, b, {}, 1e-3));
+    // 12 CX unrolled -> at most 3 * (SU4 blocks) after resynthesis.
+    EXPECT_LT(b.countOp(Op::CX), 12);
+}
+
+TEST(Baselines, Su4VariantsEmitCanU3)
+{
+    Circuit c = mixedCircuit(59);
+    for (auto *fn : {&qiskitSU4, &tketSU4, &bqskitSU4}) {
+        Circuit out = (*fn)(c);
+        EXPECT_TRUE(sameSemantics(c, out, {}, 1e-3));
+        for (const Gate &g : out)
+            EXPECT_TRUE(g.op == Op::CAN || g.op == Op::U3)
+                << g.toString();
+    }
+}
+
+TEST(Metrics, DurationModels)
+{
+    Circuit c(2);
+    c.add(Gate::cx(0, 1));
+    auto conv = conventionalDurationModel(1.0);
+    auto rq = reqiscDurationModel(uarch::Coupling::xy(1.0));
+    Metrics mc = evaluate(c, conv);
+    Metrics mr = evaluate(c, rq);
+    EXPECT_NEAR(mc.duration, M_PI / std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(mr.duration, M_PI / 2.0, 1e-9);
+    EXPECT_EQ(mc.count2Q, 1);
+    EXPECT_EQ(mc.depth2Q, 1);
+}
+
+TEST(Metrics, SwapCostsThreeConventionally)
+{
+    Circuit c(2);
+    c.add(Gate::swap(0, 1));
+    auto conv = conventionalDurationModel(1.0);
+    EXPECT_NEAR(evaluate(c, conv).duration,
+                3.0 * M_PI / std::sqrt(2.0), 1e-9);
+    auto rq = reqiscDurationModel(uarch::Coupling::xy(1.0));
+    EXPECT_NEAR(evaluate(c, rq).duration, 0.75 * M_PI, 1e-9);
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the benchmark-suite generators: determinism, structural
+ * sanity, and functional correctness of the arithmetic circuits.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "circuit/lower.hh"
+#include "qsim/statevector.hh"
+#include "suite/suite.hh"
+#include "test_util.hh"
+
+using namespace reqisc;
+using namespace reqisc::circuit;
+using namespace reqisc::qsim;
+using namespace reqisc::suite;
+
+namespace
+{
+
+/** Run a (basis-state) input through a circuit and read the output
+ *  basis state; asserts the output is computational. */
+size_t
+classicalRun(const Circuit &c, size_t input)
+{
+    StateVector sv(c.numQubits());
+    sv.amplitudes().assign(sv.dim(), qmath::Complex(0, 0));
+    sv.amplitudes()[input] = 1.0;
+    sv.applyCircuit(circuit::lowerThreeQubit(
+        circuit::decomposeMcx(c)));
+    size_t best = 0;
+    double best_p = -1.0;
+    auto p = sv.probabilities();
+    for (size_t i = 0; i < p.size(); ++i)
+        if (p[i] > best_p) {
+            best_p = p[i];
+            best = i;
+        }
+    EXPECT_GT(best_p, 0.999);
+    return best;
+}
+
+/** Set bit value for qubit q (MSB-first order). */
+size_t
+bit(int n, int q)
+{
+    return static_cast<size_t>(1) << (n - 1 - q);
+}
+
+} // namespace
+
+TEST(Suite, AllCategoriesPresent)
+{
+    std::set<std::string> cats;
+    for (const auto &b : standardSuite(false))
+        cats.insert(b.category);
+    const char *expect[] = {
+        "alu", "bit_adder", "comparator", "encoding", "grover",
+        "hwb", "modulo", "mult", "pf", "qaoa", "qft", "ripple_add",
+        "square", "sym", "tof", "uccsd", "urf"};
+    for (const char *c : expect)
+        EXPECT_TRUE(cats.count(c)) << c;
+    EXPECT_EQ(cats.size(), 17u);
+}
+
+TEST(Suite, Deterministic)
+{
+    auto a = standardSuite(false);
+    auto b = standardSuite(false);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].circuit.size(), b[i].circuit.size());
+    }
+}
+
+TEST(Suite, TypeTwoFlags)
+{
+    for (const auto &b : standardSuite(false)) {
+        const bool expect = b.category == "pf" ||
+                            b.category == "qaoa" ||
+                            b.category == "uccsd";
+        EXPECT_EQ(b.isTypeII, expect) << b.name;
+    }
+}
+
+TEST(Suite, LowersToCnotBasis)
+{
+    // Every benchmark must survive MCX decomposition + CX lowering.
+    for (const auto &b : smallSuite()) {
+        Circuit low = circuit::lowerToCnot(b.circuit);
+        EXPECT_GT(low.count2Q(), 0) << b.name;
+        for (const Gate &g : low)
+            EXPECT_TRUE(g.numQubits() == 1 || g.op == Op::CX)
+                << b.name;
+    }
+}
+
+TEST(Suite, RippleAdderAddsCorrectly)
+{
+    // 3-bit Cuccaro adder: verify a + b for several values.
+    Benchmark bm = makeRippleAdd(3);
+    const int n = bm.circuit.numQubits();  // c0,b0,a0,b1,a1,b2,a2,z
+    auto qb = [&](int i) { return 1 + 2 * i; };
+    auto qa = [&](int i) { return 2 + 2 * i; };
+    const int z = n - 1;
+    for (int a = 0; a < 8; ++a) {
+        for (int bval : {0, 3, 5, 7}) {
+            size_t in = 0;
+            for (int i = 0; i < 3; ++i) {
+                if (a & (1 << i))
+                    in |= bit(n, qa(i));
+                if (bval & (1 << i))
+                    in |= bit(n, qb(i));
+            }
+            size_t out = classicalRun(bm.circuit, in);
+            // Sum appears on b (low bits) and z (carry); a unchanged.
+            int sum = 0;
+            for (int i = 0; i < 3; ++i)
+                if (out & bit(n, qb(i)))
+                    sum |= 1 << i;
+            if (out & bit(n, z))
+                sum |= 1 << 3;
+            EXPECT_EQ(sum, a + bval) << "a=" << a << " b=" << bval;
+            int aout = 0;
+            for (int i = 0; i < 3; ++i)
+                if (out & bit(n, qa(i)))
+                    aout |= 1 << i;
+            EXPECT_EQ(aout, a);
+        }
+    }
+}
+
+TEST(Suite, ModuloIncrements)
+{
+    Benchmark bm = makeModulo(4);
+    const int n = bm.circuit.numQubits();
+    // Value bits are qubits 0..3 (bit i on qubit i), MSB-first index.
+    for (int v : {0, 1, 5, 14, 15}) {
+        size_t in = 0;
+        for (int i = 0; i < 4; ++i)
+            if (v & (1 << i))
+                in |= bit(n, i);
+        size_t out = classicalRun(bm.circuit, in);
+        int got = 0;
+        for (int i = 0; i < 4; ++i)
+            if (out & bit(n, i))
+                got |= 1 << i;
+        EXPECT_EQ(got, (v + 1) % 16) << "v=" << v;
+    }
+}
+
+TEST(Suite, TofIsMultiControlledX)
+{
+    Benchmark bm = makeTof(4);
+    const int n = bm.circuit.numQubits();
+    // All controls set -> target flips; ancillas return to zero.
+    size_t in = 0;
+    for (int i = 0; i < 4; ++i)
+        in |= bit(n, i);
+    size_t out = classicalRun(bm.circuit, in);
+    EXPECT_EQ(out, in | bit(n, 4));
+    // One control unset -> no flip.
+    size_t in2 = in & ~bit(n, 2);
+    EXPECT_EQ(classicalRun(bm.circuit, in2), in2);
+}
+
+TEST(Suite, QftMatchesDft)
+{
+    Benchmark bm = makeQft(4);
+    Matrix u = buildUnitary(bm.circuit);
+    const int dim = 16;
+    // QFT with MSB-first convention and no terminal bit reversal:
+    // U|x> = sum_k w^{xk} |rev(k)> / 4 with w = exp(2 pi i / 16).
+    for (int x = 0; x < dim; ++x) {
+        for (int k = 0; k < dim; ++k) {
+            int rk = 0;   // bit-reversed k
+            for (int b = 0; b < 4; ++b)
+                if (k & (1 << b))
+                    rk |= 1 << (3 - b);
+            qmath::Complex expect =
+                std::exp(qmath::Complex(
+                    0.0, 2.0 * M_PI * x * k / dim)) / 4.0;
+            EXPECT_NEAR(std::abs(u(rk, x) - expect), 0.0, 1e-9)
+                << x << "," << k;
+        }
+    }
+}
+
+TEST(Suite, GroverAmplifiesMarkedState)
+{
+    Benchmark bm = makeGrover(4, 1);
+    Circuit low = circuit::lowerThreeQubit(
+        circuit::decomposeMcx(bm.circuit));
+    StateVector sv(bm.circuit.numQubits());
+    sv.applyCircuit(low);
+    auto p = sv.probabilities();
+    // The oracle marks |1111> on the search wires (0..3): its
+    // probability must exceed uniform (1/16) substantially.
+    double marked = 0.0;
+    const int n = bm.circuit.numQubits();
+    for (size_t i = 0; i < p.size(); ++i) {
+        bool all = true;
+        for (int q = 0; q < 4; ++q)
+            if (!(i & bit(n, q)))
+                all = false;
+        if (all)
+            marked += p[i];
+    }
+    EXPECT_GT(marked, 0.3);
+}
+
+TEST(Suite, SizesRoughlyMatchTable1Lows)
+{
+    // Spot checks against Table 1's lower ranges (CNOT-lowered #2Q).
+    Benchmark qft8 = makeQft(8);
+    Circuit low = circuit::lowerToCnot(qft8.circuit);
+    EXPECT_EQ(low.countOp(Op::CX), 56);  // 28 CPs at 2 CX each
+    Benchmark tof4 = makeTof(4);
+    Circuit tl = circuit::lowerToCnot(tof4.circuit);
+    EXPECT_GE(tl.countOp(Op::CX), 18);
+}
+
+TEST(Suite, SmallSuiteFitsSimulators)
+{
+    for (const auto &b : smallSuite())
+        EXPECT_LE(b.circuit.numQubits(), 9) << b.name;
+}

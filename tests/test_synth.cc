@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the numeric instantiation engine, approximate synthesis
+ * and the 3Q template library.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/lower.hh"
+#include "qmath/random.hh"
+#include "qsim/statevector.hh"
+#include "synth/instantiate.hh"
+#include "synth/synthesis.hh"
+#include "synth/templates.hh"
+#include "test_util.hh"
+
+using namespace reqisc;
+using namespace reqisc::circuit;
+using namespace reqisc::qmath;
+using namespace reqisc::synth;
+
+TEST(Instantiate, LiftGateMatchesSimulator)
+{
+    Rng rng(201);
+    Matrix g = randomUnitary(4, rng);
+    Matrix lifted = liftGate(g, {0, 2}, 3);
+    Circuit c(3);
+    c.add(Gate::u4(0, 2, g));
+    EXPECT_MATRIX_NEAR(lifted, qsim::buildUnitary(c), 1e-12);
+}
+
+TEST(Instantiate, SingleFreeBlockRecoversTarget)
+{
+    Rng rng(203);
+    Matrix target = randomUnitary(4, rng);
+    std::vector<Slot> slots = {Slot::free2Q(0, 1)};
+    InstantiateResult r = instantiate(target, 2, slots);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(r.infidelity, 1e-11);
+    EXPECT_TRUE(r.slots[0].value.approxEqualUpToPhase(target, 1e-5));
+}
+
+TEST(Instantiate, FixedSlotsOnlyFreeOneQubit)
+{
+    // target = (u1 x u2) CX: free 1Q layers around a fixed CX.
+    Rng rng(207);
+    Matrix u1 = randomSU2(rng), u2 = randomSU2(rng);
+    Matrix target = kron(u1, u2) * Gate::cx(0, 1).matrix();
+    std::vector<Slot> slots = {
+        Slot::fixed({0, 1}, Gate::cx(0, 1).matrix()),
+        Slot::free1Q(0), Slot::free1Q(1)};
+    InstantiateResult r = instantiate(target, 2, slots);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(r.infidelity, 1e-11);
+}
+
+TEST(Instantiate, ThreeQubitRandomWithFiveBlocks)
+{
+    Rng rng(211);
+    Matrix target = randomUnitary(8, rng);
+    std::vector<Slot> slots;
+    const std::pair<int, int> seq[] = {{0, 1}, {1, 2}, {0, 2},
+                                       {0, 1}, {1, 2}};
+    for (auto [a, b] : seq)
+        slots.push_back(Slot::free2Q(a, b));
+    for (int q = 0; q < 3; ++q)
+        slots.push_back(Slot::free1Q(q));
+    InstantiateOptions opts;
+    opts.restarts = 5;
+    opts.maxSweeps = 800;
+    InstantiateResult r = instantiate(target, 3, slots, opts);
+    // Five blocks cannot always express Haar targets exactly, but
+    // they get very close; six blocks must converge (tested below via
+    // synthesizeBlock). Here just require substantial progress.
+    EXPECT_LT(r.infidelity, 0.05);
+}
+
+TEST(Synthesis, LowerBounds)
+{
+    // Section 5.1.1: b_SU4(3) = 6, b_CNOT(3) = 14 (ceil(54/4)).
+    EXPECT_EQ(su4LowerBound(2), 1);
+    EXPECT_EQ(su4LowerBound(3), 6);
+    EXPECT_EQ(cnotLowerBound(2), 3);
+    EXPECT_EQ(cnotLowerBound(3), 14);
+}
+
+TEST(Synthesis, RandomThreeQubitTarget)
+{
+    Rng rng(213);
+    Matrix target = randomUnitary(8, rng);
+    SynthesisOptions opts;
+    opts.tol = 1e-8;
+    SynthesisResult r = synthesizeBlock(target, {0, 1, 2}, opts);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(r.blockCount, su4LowerBound(3));
+    EXPECT_LE(r.blockCount, 7);
+    Circuit c(3);
+    for (const Gate &g : r.gates)
+        c.add(g);
+    EXPECT_TRUE(qsim::buildUnitary(c).approxEqualUpToPhase(
+        target, 1e-3));
+}
+
+TEST(Synthesis, StructuredTargetUsesFewerBlocks)
+{
+    // A CCX-like target needs far fewer than six blocks.
+    Matrix target = Gate::ccx(0, 1, 2).matrix();
+    SynthesisOptions opts;
+    opts.tol = 1e-9;
+    SynthesisResult r = synthesizeBlock(target, {0, 1, 2}, opts);
+    ASSERT_TRUE(r.success);
+    // Yu et al.: five two-qubit gates are necessary and sufficient
+    // for the Toffoli gate.
+    EXPECT_LE(r.blockCount, 5);
+    Circuit c(3);
+    for (const Gate &g : r.gates)
+        c.add(g);
+    EXPECT_TRUE(qsim::buildUnitary(c).approxEqualUpToPhase(
+        target, 1e-3));
+}
+
+TEST(Synthesis, TwoQubitBlockTrivial)
+{
+    Rng rng(217);
+    Matrix target = randomUnitary(4, rng);
+    SynthesisResult r = synthesizeBlock(target, {5, 7});
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.blockCount, 1);
+    EXPECT_EQ(r.gates[0].qubits[0], 5);
+    EXPECT_EQ(r.gates[0].qubits[1], 7);
+}
+
+TEST(Synthesis, LocalTargetZeroBlocks)
+{
+    Rng rng(219);
+    Matrix target = kron(kron(randomSU2(rng), randomSU2(rng)),
+                         randomSU2(rng));
+    SynthesisResult r = synthesizeBlock(target, {0, 1, 2});
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.blockCount, 0);
+}
+
+TEST(Synthesis, Su4ToCnotsGenericUsesThree)
+{
+    Rng rng(223);
+    for (int rep = 0; rep < 5; ++rep) {
+        Matrix u = randomUnitary(4, rng);
+        auto gates = su4ToCnots(0, 1, u);
+        Circuit c(2);
+        int cx = 0;
+        for (const Gate &g : gates) {
+            c.add(g);
+            if (g.op == Op::CX)
+                ++cx;
+        }
+        EXPECT_LE(cx, 3) << "rep " << rep;
+        EXPECT_TRUE(qsim::buildUnitary(c).approxEqualUpToPhase(
+            u, 1e-4))
+            << "rep " << rep;
+    }
+}
+
+TEST(Synthesis, Su4ToCnotsSpecialClasses)
+{
+    auto cxCount = [](const Matrix &u) {
+        int cx = 0;
+        for (const Gate &g : su4ToCnots(0, 1, u))
+            if (g.op == Op::CX)
+                ++cx;
+        return cx;
+    };
+    EXPECT_EQ(cxCount(Gate::cz(0, 1).matrix()), 1);
+    EXPECT_EQ(cxCount(Gate::iswap(0, 1).matrix()), 2);
+    EXPECT_LE(cxCount(Gate::swap(0, 1).matrix()), 3);
+    Rng rng(227);
+    EXPECT_EQ(cxCount(kron(randomSU2(rng), randomSU2(rng))), 0);
+}
+
+TEST(Templates, CcxVariantsCorrect)
+{
+    auto &lib = TemplateLibrary::instance();
+    const auto &vs = lib.variants(Op::CCX);
+    ASSERT_FALSE(vs.empty());
+    const Matrix target = Gate::ccx(0, 1, 2).matrix();
+    for (const auto &e : vs) {
+        Circuit c(3);
+        for (const Gate &g : e.gates)
+            c.add(g);
+        EXPECT_TRUE(qsim::buildUnitary(c).approxEqualUpToPhase(
+            target, 1e-3));
+        EXPECT_LE(e.canCount, 5);
+    }
+}
+
+TEST(Templates, CcxBeatsCnotTemplateCount)
+{
+    // SU(4) templates must use fewer 2Q blocks than the 6-CX circuit.
+    auto &lib = TemplateLibrary::instance();
+    EXPECT_LE(lib.minBlocks(Op::CCX), 5);
+}
+
+TEST(Templates, EccVariantsOfferDifferentBoundaryPairs)
+{
+    auto &lib = TemplateLibrary::instance();
+    const auto &vs = lib.variants(Op::CCX);
+    // Control permutability + self-inverse must yield more than one
+    // distinct (first, last) pair signature.
+    std::set<std::pair<std::pair<int, int>, std::pair<int, int>>> sig;
+    for (const auto &e : vs)
+        sig.insert({e.firstPair, e.lastPair});
+    EXPECT_GT(sig.size(), 1u);
+}
+
+TEST(Templates, PickPrefersRequestedPair)
+{
+    auto &lib = TemplateLibrary::instance();
+    const auto &vs = lib.variants(Op::CCX);
+    std::set<std::pair<int, int>> firsts;
+    for (const auto &e : vs)
+        firsts.insert(e.firstPair);
+    for (const auto &f : firsts) {
+        const auto &e = lib.pick(Op::CCX, f);
+        EXPECT_EQ(e.firstPair, f);
+    }
+}
+
+TEST(Templates, OtherIrsSynthesize)
+{
+    auto &lib = TemplateLibrary::instance();
+    for (Op op : {Op::CCZ, Op::CSWAP, Op::PERES}) {
+        const auto &vs = lib.variants(op);
+        ASSERT_FALSE(vs.empty()) << opName(op);
+        Gate ir;
+        switch (op) {
+          case Op::CCZ: ir = Gate::ccz(0, 1, 2); break;
+          case Op::CSWAP: ir = Gate::cswap(0, 1, 2); break;
+          default: ir = Gate::peres(0, 1, 2); break;
+        }
+        const Matrix target = ir.matrix();
+        Circuit c(3);
+        for (const Gate &g : vs.front().gates)
+            c.add(g);
+        EXPECT_TRUE(qsim::buildUnitary(c).approxEqualUpToPhase(
+            target, 1e-3))
+            << opName(op);
+    }
+}

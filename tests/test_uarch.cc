@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the genAshN microarchitecture (Algorithm 1).
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "qmath/expm.hh"
+#include "qmath/random.hh"
+#include "test_util.hh"
+#include "uarch/coupling.hh"
+#include "uarch/duration.hh"
+#include "uarch/genashn.hh"
+#include "weyl/weyl.hh"
+
+using namespace reqisc;
+using namespace reqisc::qmath;
+using namespace reqisc::uarch;
+using reqisc::weyl::WeylCoord;
+
+namespace
+{
+
+constexpr double kPi = std::numbers::pi;
+
+} // namespace
+
+TEST(Coupling, StrengthAndFactories)
+{
+    EXPECT_NEAR(Coupling::xy(1.0).strength(), 1.0, 1e-12);
+    EXPECT_NEAR(Coupling::xx(1.0).strength(), 1.0, 1e-12);
+    EXPECT_TRUE(Coupling::xy().isCanonical());
+    EXPECT_TRUE(Coupling::xx().isCanonical());
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        Coupling c = Coupling::random(rng);
+        EXPECT_TRUE(c.isCanonical());
+        EXPECT_NEAR(c.strength(), 1.0, 1e-9);
+    }
+}
+
+TEST(Coupling, So3Su2RoundTrip)
+{
+    Rng rng(5);
+    for (int rep = 0; rep < 20; ++rep) {
+        Matrix u = randomSU2(rng);
+        double r[3][3];
+        so3FromSu2(u, r);
+        Matrix v = su2FromSo3(r);
+        // The lift is unique up to sign.
+        EXPECT_TRUE(v.approxEqualUpToPhase(u, 1e-9));
+        double r2[3][3];
+        so3FromSu2(v, r2);
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                EXPECT_NEAR(r2[i][j], r[i][j], 1e-9);
+    }
+}
+
+TEST(Coupling, NormalFormCanonicalInput)
+{
+    // A Hamiltonian already in canonical form must round-trip.
+    Coupling c{0.6, 0.3, -0.1};
+    HamiltonianNormalForm nf = normalForm(c.hamiltonian());
+    EXPECT_NEAR(nf.coupling.a, 0.6, 1e-9);
+    EXPECT_NEAR(nf.coupling.b, 0.3, 1e-9);
+    EXPECT_NEAR(std::abs(nf.coupling.c), 0.1, 1e-9);
+    EXPECT_MATRIX_NEAR(nf.reconstruct(), c.hamiltonian(), 1e-8);
+}
+
+TEST(Coupling, NormalFormRandomHermitian)
+{
+    Rng rng(7);
+    for (int rep = 0; rep < 15; ++rep) {
+        // Random interaction: rotated canonical + random locals.
+        Coupling c = Coupling::random(rng);
+        Matrix u1 = randomSU2(rng), u2 = randomSU2(rng);
+        Matrix frame = kron(u1, u2);
+        Matrix h = frame * c.hamiltonian() * frame.dagger();
+        Matrix l1 = randomHermitian(2, rng);
+        Matrix l2 = randomHermitian(2, rng);
+        h += kron(l1, Matrix::identity(2));
+        h += kron(Matrix::identity(2), l2);
+        HamiltonianNormalForm nf = normalForm(h);
+        EXPECT_TRUE(nf.coupling.isCanonical(1e-8));
+        EXPECT_NEAR(nf.coupling.a, c.a, 1e-7);
+        EXPECT_NEAR(nf.coupling.b, c.b, 1e-7);
+        EXPECT_NEAR(std::abs(nf.coupling.c), std::abs(c.c), 1e-7);
+        EXPECT_MATRIX_NEAR(nf.reconstruct(), h, 1e-7);
+    }
+}
+
+TEST(Duration, Figure6aClosedForms)
+{
+    // Gate time landscape under XY coupling, Fig 6(a): durations in
+    // units of pi/g.
+    const Coupling xy = Coupling::xy(1.0);
+    auto d = [&](const WeylCoord &c) {
+        return optimalDuration(xy, c) / kPi;
+    };
+    EXPECT_NEAR(d(WeylCoord::sqisw()), 0.25, 1e-12);
+    EXPECT_NEAR(d(WeylCoord::iswap()), 0.50, 1e-12);
+    EXPECT_NEAR(d(WeylCoord::swap()), 0.75, 1e-12);
+    EXPECT_NEAR(d(WeylCoord::cv()), 0.25, 1e-12);
+    EXPECT_NEAR(d(WeylCoord::cnot()), 0.50, 1e-12);
+    EXPECT_NEAR(d(WeylCoord::bgate()), 0.50, 1e-12);
+    // QTSW (pi/16, pi/16, pi/16) = 0.1875; SQSW = 0.375; ECP = 0.5;
+    // QFT corner = 0.625 (all from Fig 6a).
+    EXPECT_NEAR(d({kPi / 16, kPi / 16, kPi / 16}), 0.1875, 1e-12);
+    EXPECT_NEAR(d({kPi / 8, kPi / 8, kPi / 8}), 0.375, 1e-12);
+    EXPECT_NEAR(d({kPi / 4, kPi / 8, kPi / 8}), 0.50, 1e-12);
+    EXPECT_NEAR(d({kPi / 4, kPi / 4, kPi / 8}), 0.625, 1e-12);
+}
+
+TEST(Duration, XxCouplingClosedForms)
+{
+    // Table 3 single-gate durations under XX coupling.
+    const Coupling xx = Coupling::xx(1.0);
+    EXPECT_NEAR(optimalDuration(xx, WeylCoord::cnot()), 0.785, 1e-3);
+    EXPECT_NEAR(optimalDuration(xx, WeylCoord::iswap()), 1.571, 1e-3);
+    EXPECT_NEAR(optimalDuration(xx, WeylCoord::sqisw()), 0.785, 1e-3);
+    EXPECT_NEAR(optimalDuration(xx, WeylCoord::bgate()), 1.178, 1e-3);
+}
+
+TEST(Duration, CnotSpeedupOverConventional)
+{
+    // pi/2g vs pi/sqrt(2)g: the 1.41x speedup claimed in Section 4.4.
+    const double ours = optimalDuration(Coupling::xy(1.0),
+                                        WeylCoord::cnot());
+    const double conv = conventionalCnotDuration(1.0);
+    EXPECT_NEAR(conv / ours, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Duration, MirrorBranchHelpsNegativeCCouplings)
+{
+    // Under XY coupling the mirrored branch never wins (tau2 >= tau1
+    // across the chamber); with c < 0 it does, e.g. for gates whose
+    // x+y+z constraint binds through the weak a+b+c denominator.
+    const Coupling xy = Coupling::xy(1.0);
+    Rng rng(31);
+    for (int rep = 0; rep < 50; ++rep) {
+        DurationInfo i = durationInfo(xy, weyl::randomWeylCoord(rng));
+        EXPECT_GE(i.tau2, i.tau1 - 1e-12);
+    }
+    const Coupling neg{0.5, 0.3, -0.2};
+    DurationInfo info =
+        durationInfo(neg, {0.2 * kPi, 0.15 * kPi, 0.1 * kPi});
+    EXPECT_TRUE(info.usesMirrorBranch);
+    EXPECT_LT(info.tau2, info.tau1);
+    // The effective coordinate is the local-equivalent mirror.
+    EXPECT_NEAR(info.effective.x, kPi / 2.0 - 0.2 * kPi, 1e-12);
+    EXPECT_NEAR(info.effective.z, -0.1 * kPi, 1e-12);
+}
+
+TEST(Duration, HaarAverageXy)
+{
+    // Table 3: average SU(4) duration 1.341/g under XY coupling.
+    Rng rng(11);
+    const Coupling xy = Coupling::xy(1.0);
+    double acc = 0.0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i)
+        acc += optimalDuration(xy, weyl::randomWeylCoord(rng));
+    EXPECT_NEAR(acc / n, 1.341, 0.03);
+}
+
+TEST(Duration, HaarAverageXx)
+{
+    // Table 3: average SU(4) duration 1.178/g under XX coupling.
+    Rng rng(13);
+    const Coupling xx = Coupling::xx(1.0);
+    double acc = 0.0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i)
+        acc += optimalDuration(xx, weyl::randomWeylCoord(rng));
+    EXPECT_NEAR(acc / n, 1.178, 0.03);
+}
+
+TEST(GenAshN, IswapNeedsNoDrives)
+{
+    GateScheme scheme(Coupling::xy(1.0));
+    PulseSolution s = scheme.solveCoord(WeylCoord::iswap());
+    ASSERT_TRUE(s.converged);
+    EXPECT_NEAR(s.omega1, 0.0, 1e-7);
+    EXPECT_NEAR(s.omega2, 0.0, 1e-7);
+    EXPECT_NEAR(s.delta, 0.0, 1e-7);
+}
+
+TEST(GenAshN, CnotXyOneSideDrive)
+{
+    // Fig 6(d): the CNOT family needs a one-side drive (A2 = 0).
+    GateScheme scheme(Coupling::xy(1.0));
+    PulseSolution s = scheme.solveCoord(WeylCoord::cnot());
+    ASSERT_TRUE(s.converged);
+    EXPECT_EQ(s.scheme, SubScheme::ND);
+    EXPECT_NEAR(s.ampA2(), 0.0, 1e-6);
+    EXPECT_GT(std::abs(s.ampA1()), 0.1);
+}
+
+TEST(GenAshN, CnotXxNoDrives)
+{
+    // Under XX coupling CNOT is a pure coupling evolution.
+    GateScheme scheme(Coupling::xx(1.0));
+    PulseSolution s = scheme.solveCoord(WeylCoord::cnot());
+    ASSERT_TRUE(s.converged);
+    EXPECT_NEAR(s.amplitudePenalty(), 0.0, 1e-7);
+}
+
+TEST(GenAshN, SwapXySameSignDrives)
+{
+    // Fig 6(d): the SWAP family requires both-side equal drives.
+    GateScheme scheme(Coupling::xy(1.0));
+    PulseSolution s = scheme.solveCoord(WeylCoord::swap());
+    ASSERT_TRUE(s.converged);
+    EXPECT_NEAR(s.ampA1(), s.ampA2(), 1e-6);
+    EXPECT_GT(std::abs(s.ampA1()), 1e-3);
+}
+
+class GenAshNNamedGates
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GenAshNNamedGates, SolvesAndVerifies)
+{
+    const int which_coupling = std::get<0>(GetParam());
+    const int which_gate = std::get<1>(GetParam());
+    Rng rng(400 + which_coupling);
+    Coupling cpl = which_coupling == 0 ? Coupling::xy(1.0)
+                 : which_coupling == 1 ? Coupling::xx(1.0)
+                 : Coupling::random(rng);
+    const WeylCoord gates[] = {
+        WeylCoord::cnot(), WeylCoord::iswap(), WeylCoord::swap(),
+        WeylCoord::sqisw(), WeylCoord::bgate(), WeylCoord::cv(),
+        {kPi / 4, kPi / 8, kPi / 8},    // ECP
+        {kPi / 4, kPi / 4, kPi / 8},    // QFT corner
+        {0.5, 0.3, -0.2},               // generic interior
+    };
+    const WeylCoord target = gates[which_gate];
+    GateScheme scheme(cpl);
+    PulseSolution s = scheme.solveCoord(target);
+    ASSERT_TRUE(s.converged)
+        << "coupling " << which_coupling << " gate "
+        << target.toString();
+    EXPECT_LT(s.coordError, 1e-7);
+    EXPECT_NEAR(s.tau, optimalDuration(cpl, target), 1e-12);
+    // Subscheme property: at least one of Omega1/Omega2/delta is 0.
+    const double m = std::min({std::abs(s.omega1), std::abs(s.omega2),
+                               std::abs(s.delta)});
+    EXPECT_NEAR(m, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GenAshNNamedGates,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 9)));
+
+TEST(GenAshN, RandomTargetsRandomCouplings)
+{
+    Rng rng(17);
+    int solved = 0;
+    const int total = 25;
+    for (int rep = 0; rep < total; ++rep) {
+        Coupling cpl = Coupling::random(rng);
+        Matrix u = randomUnitary(4, rng);
+        // Skip near-identity targets (mirrored at compile time).
+        if (needsMirror(weyl::weylCoordinate(u), 0.1))
+            continue;
+        GateScheme scheme(cpl);
+        PulseSolution s = scheme.solve(u);
+        ASSERT_TRUE(s.converged) << "rep " << rep;
+        ASSERT_TRUE(s.hasCorrections);
+        // Eq. (5): (A1 x A2) E (B1 x B2) = U exactly.
+        Matrix rebuilt = kron(s.a1, s.a2) * scheme.evolution(s) *
+                         kron(s.b1, s.b2);
+        EXPECT_MATRIX_NEAR(rebuilt, u, 1e-6);
+        ++solved;
+    }
+    EXPECT_GE(solved, total / 2);
+}
+
+TEST(GenAshN, TimeOptimalityAgainstBound)
+{
+    // The solver must never beat or exceed the HVC bound: tau always
+    // equals min(tau1, tau2) exactly.
+    Rng rng(19);
+    for (int rep = 0; rep < 10; ++rep) {
+        Coupling cpl = Coupling::random(rng);
+        WeylCoord c = weyl::randomWeylCoord(rng);
+        GateScheme scheme(cpl);
+        PulseSolution s = scheme.solveCoord(c);
+        DurationInfo info = durationInfo(cpl, c);
+        EXPECT_EQ(s.tau, info.tau);
+    }
+}
+
+TEST(GenAshN, NearIdentityMirrorPolicy)
+{
+    EXPECT_TRUE(needsMirror({0.01, 0.005, 0.001}, 0.1));
+    EXPECT_FALSE(needsMirror(WeylCoord::cnot(), 0.1));
+    // The mirror of a near-identity gate is solvable with bounded
+    // amplitudes while the direct gate needs much stronger drives.
+    GateScheme scheme(Coupling::xy(1.0));
+    WeylCoord tiny{0.02, 0.01, 0.005};
+    WeylCoord mirrored = weyl::mirrorCoord(tiny);
+    PulseSolution sm = scheme.solveCoord(mirrored);
+    ASSERT_TRUE(sm.converged);
+    PulseSolution sd = scheme.solveCoord(tiny);
+    if (sd.converged) {
+        EXPECT_GT(sd.amplitudePenalty(),
+                  2.0 * sm.amplitudePenalty());
+    }
+}
+
+TEST(GenAshN, IdentityGateTrivial)
+{
+    GateScheme scheme(Coupling::xy(1.0));
+    PulseSolution s = scheme.solveCoord(WeylCoord::identity());
+    EXPECT_TRUE(s.converged);
+    EXPECT_NEAR(s.tau, 0.0, 1e-12);
+}
+
+TEST(GenAshN, ArbitraryHamiltonianFullPipeline)
+{
+    // Lab-frame Hamiltonian of Eq. (7): detuned qubits + XX coupling.
+    Rng rng(23);
+    for (int rep = 0; rep < 5; ++rep) {
+        Matrix h = Coupling::xx(1.0).hamiltonian();
+        h += kron(qmath::pauliZ(), Matrix::identity(2)) *
+             Complex(-0.25, 0.0);
+        h += kron(Matrix::identity(2), qmath::pauliZ()) *
+             Complex(0.15, 0.0);
+        Matrix u = randomUnitary(4, rng);
+        if (needsMirror(weyl::weylCoordinate(u), 0.1))
+            continue;
+        ArbitrarySolution s = solveArbitrary(h, u);
+        ASSERT_TRUE(s.converged) << "rep " << rep;
+        Matrix htot = h + kron(s.h1, Matrix::identity(2)) +
+                      kron(Matrix::identity(2), s.h2);
+        Matrix ev = qmath::expim(htot, s.canonical.tau);
+        Matrix rebuilt = kron(s.a1, s.a2) * ev * kron(s.b1, s.b2);
+        EXPECT_MATRIX_NEAR(rebuilt, u, 1e-6);
+    }
+}
+
+TEST(GenAshN, SubschemePartitionOfChamber)
+{
+    // Sample the chamber; every solved point reports a subscheme and
+    // the three regions are all populated under XY coupling.
+    Rng rng(29);
+    GateScheme scheme(Coupling::xy(1.0));
+    int counts[3] = {0, 0, 0};
+    for (int rep = 0; rep < 60; ++rep) {
+        WeylCoord c = weyl::randomWeylCoord(rng);
+        if (needsMirror(c, 0.05))
+            continue;
+        DurationInfo info = durationInfo(scheme.coupling(), c);
+        counts[static_cast<int>(info.scheme)]++;
+    }
+    EXPECT_GT(counts[0], 0);
+    EXPECT_GT(counts[1] + counts[2], 0);
+}

@@ -1,0 +1,33 @@
+#include "test_util.hh"
+
+namespace reqisc::test
+{
+
+::testing::AssertionResult
+matrixNear(const qmath::Matrix &a, const qmath::Matrix &b, double tol)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return ::testing::AssertionFailure()
+               << "shape mismatch: " << a.rows() << "x" << a.cols()
+               << " vs " << b.rows() << "x" << b.cols();
+    }
+    if (a.approxEqual(b, tol))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "matrices differ (tol=" << tol << ")\nA=\n"
+           << a.toString() << "B=\n" << b.toString()
+           << "maxAbs(A-B)=" << (a - b).maxAbs();
+}
+
+::testing::AssertionResult
+matrixNearUpToPhase(const qmath::Matrix &a, const qmath::Matrix &b,
+                    double tol)
+{
+    if (a.approxEqualUpToPhase(b, tol))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "matrices differ up to phase (tol=" << tol << ")\nA=\n"
+           << a.toString() << "B=\n" << b.toString();
+}
+
+} // namespace reqisc::test

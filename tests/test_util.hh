@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the gtest suites.
+ */
+
+#ifndef REQISC_TESTS_TEST_UTIL_HH
+#define REQISC_TESTS_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include "qmath/matrix.hh"
+#include "qmath/random.hh"
+
+namespace reqisc::test
+{
+
+/** Assert entrywise equality of two matrices with tolerance. */
+::testing::AssertionResult matrixNear(const qmath::Matrix &a,
+                                      const qmath::Matrix &b,
+                                      double tol);
+
+/** Assert equality up to a global phase. */
+::testing::AssertionResult matrixNearUpToPhase(const qmath::Matrix &a,
+                                               const qmath::Matrix &b,
+                                               double tol);
+
+#define EXPECT_MATRIX_NEAR(a, b, tol) \
+    EXPECT_TRUE(::reqisc::test::matrixNear((a), (b), (tol)))
+#define ASSERT_MATRIX_NEAR(a, b, tol) \
+    ASSERT_TRUE(::reqisc::test::matrixNear((a), (b), (tol)))
+#define EXPECT_MATRIX_PHASE_NEAR(a, b, tol) \
+    EXPECT_TRUE(::reqisc::test::matrixNearUpToPhase((a), (b), (tol)))
+
+} // namespace reqisc::test
+
+#endif // REQISC_TESTS_TEST_UTIL_HH
