@@ -4,8 +4,10 @@
  *
  * Every bench binary regenerates one table or figure of the paper.  By
  * default sizes/sample counts are reduced so the whole harness runs in
- * minutes; pass --full for paper-scale runs and --csv for
- * machine-readable output.
+ * minutes; pass --full for paper-scale runs, --csv for
+ * machine-readable output and --seed N (default 2026) to vary the
+ * randomized sweeps. Unknown flags are ignored with a note on stderr.
+ * See docs/BENCHMARKS.md for the full flag reference.
  */
 
 #ifndef REQISC_BENCH_COMMON_HH

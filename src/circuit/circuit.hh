@@ -1,6 +1,14 @@
 /**
  * @file
  * Circuit container and the metrics the paper's evaluation reports.
+ *
+ * A Circuit is an ordered gate list on a fixed-size qubit register —
+ * deliberately flat; structural views (dependency DAG, 3Q partitions)
+ * are built on demand by dag.hh and the compiler passes. Member
+ * metrics (#2Q, Depth2Q, duration under a pluggable per-gate model,
+ * distinct-SU(4) count) are the quantities Tables 1/2 and Figs 12-16
+ * track. Durations are in 1/g units; qubit indices are
+ * register-global, 0-based.
  */
 
 #ifndef REQISC_CIRCUIT_CIRCUIT_HH

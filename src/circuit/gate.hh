@@ -9,7 +9,9 @@
  *
  * Qubit-ordering convention: the first qubit listed in a gate is the
  * most significant index of its matrix (matching kron(A, B) with A on
- * the first qubit).
+ * the first qubit). For controlled gates the control(s) come first.
+ * All gate parameters (params) are angles in radians; Can(x, y, z)
+ * parameters are Weyl-chamber coordinates (weyl/weyl.hh).
  */
 
 #ifndef REQISC_CIRCUIT_GATE_HH

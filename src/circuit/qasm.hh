@@ -5,6 +5,9 @@
  * The paper's artifact emits QASM for every compiled benchmark; this
  * is the equivalent interchange path. All named ops round-trip;
  * opaque U4 blocks are expanded into {Can, U3} before writing.
+ * Gate parameters are written as radians with 17 significant digits
+ * (round-trip exact for doubles); the non-standard "can" mnemonic
+ * carries the Weyl coordinates (x, y, z) as its three parameters.
  */
 
 #ifndef REQISC_CIRCUIT_QASM_HH

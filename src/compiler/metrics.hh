@@ -2,6 +2,13 @@
  * @file
  * Evaluation metrics (Section 6.1.1): #2Q, Depth2Q, pulse duration
  * and distinct-SU(4) calibration count.
+ *
+ * Durations are expressed in 1/g units (g = canonical coupling
+ * strength), so the conventional CNOT pulse is pi/sqrt(2) ~ 2.221.
+ * Two duration models are provided: the conventional fixed-pulse
+ * model for CNOT-ISA baselines and the genAshN optimal-duration
+ * model for the SU(4) ISA; both are plugged into
+ * Circuit::duration(model) as per-gate cost functions.
  */
 
 #ifndef REQISC_COMPILER_METRICS_HH

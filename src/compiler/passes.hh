@@ -2,6 +2,15 @@
  * @file
  * Local circuit-optimization passes shared by the ReQISC pipelines
  * and the baseline compilers.
+ *
+ * All passes are pure Circuit -> Circuit functions preserving the
+ * overall unitary up to global phase (mirrorNearIdentity additionally
+ * tracks an output-wire permutation). The load-bearing ones: fuse1Q /
+ * fuse2QBlocks (greedy fusion into U4 blocks), cancelAdjacentCx,
+ * groupPauliRotations (phase-gadget grouping), partition3Q (DAG-order
+ * 3-qubit blocking), dagCompact (commutation-aware compaction,
+ * Section 5.2.1) and hierarchicalSynthesis (compacting + partition +
+ * approximate re-synthesis, the ReQISC-Full extra pass).
  */
 
 #ifndef REQISC_COMPILER_PASSES_HH

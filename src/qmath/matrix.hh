@@ -6,6 +6,11 @@
  * (2x2 one-qubit gates, 4x4 two-qubit gates, 8x8 synthesis blocks and
  * 2^n x 2^n simulator unitaries for small n), so a simple row-major
  * dense representation is the right substrate.
+ *
+ * Tensor-product convention: kron(A, B) puts A on the more significant
+ * subsystem — row/column index = (i_A * dim_B + i_B) — which is why
+ * the first listed qubit of a Gate is the most significant bit
+ * everywhere downstream.
  */
 
 #ifndef REQISC_QMATH_MATRIX_HH

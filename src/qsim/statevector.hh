@@ -4,6 +4,9 @@
  *
  * Index convention: qubit 0 is the most significant bit of the state
  * index, matching the kron() ordering used by the gate library.
+ * Dense and exact: memory is 16 bytes * 2^n, so intended for the
+ * <= ~20-qubit verification workloads of the test and bench suites,
+ * not large-scale simulation.
  */
 
 #ifndef REQISC_QSIM_STATEVECTOR_HH

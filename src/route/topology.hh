@@ -2,6 +2,11 @@
  * @file
  * Device coupling topologies for the mapping experiments: 1D chain,
  * 2D grid and all-to-all (Section 6.4).
+ *
+ * A Topology is an undirected graph over physical qubits 0..n-1 with
+ * an all-pairs BFS distance matrix (the SABRE heuristic's metric).
+ * Edges are symmetric: two-qubit gates may be scheduled on a pair in
+ * either orientation.
  */
 
 #ifndef REQISC_ROUTE_TOPOLOGY_HH

@@ -7,6 +7,11 @@
  * local drives is tau_opt = min(tau1, tau2) where tau1 covers the
  * direct coordinate and tau2 its x -> pi/2 - x, z -> -z mirror
  * (Algorithm 1, lines 3-7 / Appendix A.1.3).
+ *
+ * All times are in 1/g units, where g := a + b + |c| is the coupling
+ * strength (paper Eq. 3, so xy()/xx() with g = 1 give unit-strength
+ * devices); Weyl coordinates are radians inside the chamber of
+ * weyl/weyl.hh.
  */
 
 #ifndef REQISC_UARCH_DURATION_HH

@@ -6,6 +6,11 @@
  * gates and determine the local-equivalence class — a cheaper test
  * than a full KAK decomposition, used by the compiler's distinct-
  * SU(4) clustering and by the test suite as an independent oracle.
+ *
+ * Convention (Makhlin 2002): with M = MB^dagger U MB the magic-basis
+ * transform, G1 = tr(M^T M)^2 / (16 det U) and
+ * G2 = (tr(M^T M)^2 - tr((M^T M)^2)) / (4 det U), which makes both
+ * invariants insensitive to global phase.
  */
 
 #ifndef REQISC_WEYL_INVARIANTS_HH

@@ -5,6 +5,10 @@
  * The compiler emits circuits over the {Can, U3} gate set, so every
  * 2x2 local factor produced by KAK or synthesis must be expressible as
  * U3(theta, phi, lambda) up to a tracked global phase.
+ *
+ * Angles are radians, following the OpenQASM u3 convention:
+ * U3(theta, phi, lambda) = Rz(phi) Ry(theta) Rz(lambda) up to global
+ * phase, with theta in [0, pi].
  */
 
 #ifndef REQISC_WEYL_SU2_HH

@@ -1,6 +1,9 @@
 /**
  * @file
- * Shared helpers for the gtest suites.
+ * Shared helpers for the gtest suites: matrix near-equality assertions
+ * (entrywise and up-to-global-phase, the right notion for comparing
+ * compiled circuits) and fixed-seed random-matrix shorthands. Linked
+ * into every suite as the reqisc_test_util object library.
  */
 
 #ifndef REQISC_TESTS_TEST_UTIL_HH
