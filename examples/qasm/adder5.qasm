@@ -1,0 +1,15 @@
+OPENQASM 2.0;
+// 2-bit ripple-carry adder slice: MAJ / UMA blocks from CCX + CX.
+// Repeated Toffoli structure exercises the template-synthesis path
+// and, across a batch, the service's SU(4) memoization caches.
+qreg q[5];
+cx q[1],q[2];
+cx q[1],q[0];
+ccx q[0],q[2],q[1];
+cx q[3],q[4];
+cx q[3],q[1];
+ccx q[1],q[4],q[3];
+cx q[3],q[1];
+ccx q[0],q[2],q[1];
+cx q[1],q[0];
+cx q[0],q[2];

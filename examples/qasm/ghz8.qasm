@@ -1,0 +1,11 @@
+OPENQASM 2.0;
+// 8-qubit GHZ state preparation: one Hadamard + a CX chain.
+qreg q[8];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];
+cx q[4],q[5];
+cx q[5],q[6];
+cx q[6],q[7];

@@ -1,0 +1,26 @@
+OPENQASM 2.0;
+// One trotter step of a 6-site transverse-field Ising chain
+// (Type-II workload: RZZ phase gadgets + RX mixing layer).
+qreg q[6];
+rzz(0.35) q[0],q[1];
+rzz(0.35) q[1],q[2];
+rzz(0.35) q[2],q[3];
+rzz(0.35) q[3],q[4];
+rzz(0.35) q[4],q[5];
+rx(0.6) q[0];
+rx(0.6) q[1];
+rx(0.6) q[2];
+rx(0.6) q[3];
+rx(0.6) q[4];
+rx(0.6) q[5];
+rzz(0.35) q[0],q[1];
+rzz(0.35) q[1],q[2];
+rzz(0.35) q[2],q[3];
+rzz(0.35) q[3],q[4];
+rzz(0.35) q[4],q[5];
+rx(0.6) q[0];
+rx(0.6) q[1];
+rx(0.6) q[2];
+rx(0.6) q[3];
+rx(0.6) q[4];
+rx(0.6) q[5];

@@ -14,6 +14,7 @@
 #ifndef REQISC_COMPILER_METRICS_HH
 #define REQISC_COMPILER_METRICS_HH
 
+#include <cstdint>
 #include <functional>
 
 #include "circuit/circuit.hh"
@@ -22,6 +23,30 @@
 namespace reqisc::compiler
 {
 
+/**
+ * Memoization-cache counters (filled by the service layer when a
+ * compile ran against shared caches; all-zero for standalone runs).
+ *
+ * `hits + misses` per compile is deterministic (the number of memo
+ * consultations the pipeline makes), but the hit/miss split depends
+ * on what other jobs populated the cache first — consumers comparing
+ * runs for determinism should compare the compiled artifacts, not
+ * the split.
+ */
+struct CacheCounters
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    double solveSeconds = 0.0;  //!< time spent on the misses
+
+    double hitRate() const
+    {
+        const std::int64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
 /** Circuit-level evaluation metrics. */
 struct Metrics
 {
@@ -29,6 +54,8 @@ struct Metrics
     int depth2Q = 0;
     double duration = 0.0;   //!< critical-path pulse time (1/g units)
     int distinctSU4 = 0;     //!< calibration-overhead proxy
+    CacheCounters synthCache;  //!< block-resynthesis memo activity
+    CacheCounters pulseCache;  //!< pulse-solve memo activity
 };
 
 /**

@@ -373,7 +373,8 @@ dagCompact(const Circuit &input, double tol)
 }
 
 Circuit
-hierarchicalSynthesis(const Circuit &input, int m_th, double tol)
+hierarchicalSynthesis(const Circuit &input, int m_th, double tol,
+                      unsigned seed, synth::BlockMemo *memo)
 {
     Circuit fused = fuse2QBlocks(fuse1Q(input));
     Circuit compacted = dagCompact(fused);
@@ -401,6 +402,8 @@ hierarchicalSynthesis(const Circuit &input, int m_th, double tol)
         opts.tol = tol;
         opts.maxBlocks = std::min(7, b.count2Q - 1);
         opts.descending = true;
+        opts.seed = seed;
+        opts.memo = memo;
         synth::SynthesisResult r =
             synth::synthesizeBlock(u, b.qubits, opts);
         if (r.success &&

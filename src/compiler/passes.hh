@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "synth/synthesis.hh"
 
 namespace reqisc::compiler
 {
@@ -78,10 +79,14 @@ Circuit dagCompact(const Circuit &c, double tol = 1e-9);
 /**
  * Approximate synthesis over the 3Q partition: blocks with more than
  * `m_th` 2Q gates are re-synthesized into fewer SU(4)s when possible
- * (Section 5.1.2, threshold m_th = 4).
+ * (Section 5.1.2, threshold m_th = 4). `seed` drives the numeric
+ * instantiation (deterministic per call); `memo` optionally shares
+ * block-synthesis results across calls/circuits (service layer).
  */
 Circuit hierarchicalSynthesis(const Circuit &c, int m_th = 4,
-                              double tol = 1e-9);
+                              double tol = 1e-9,
+                              unsigned seed = 777,
+                              synth::BlockMemo *memo = nullptr);
 
 /**
  * Near-identity gate mirroring (Section 4.3). Every 2Q gate whose

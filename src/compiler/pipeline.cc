@@ -118,7 +118,8 @@ reqiscFull(const circuit::Circuit &input, const CompileOptions &opts)
     c = groupPauliRotations(c);
     c = fuse2QBlocks(fuse1Q(c));
     if (opts.dagCompacting) {
-        c = hierarchicalSynthesis(c, opts.mTh, opts.synthTol);
+        c = hierarchicalSynthesis(c, opts.mTh, opts.synthTol,
+                                  opts.seed, opts.synthMemo);
     } else {
         // Ablation variant (ReQISC-NC): skip the compacting pass but
         // keep partition + approximate synthesis.
@@ -153,6 +154,8 @@ reqiscFull(const circuit::Circuit &input, const CompileOptions &opts)
             sopts.tol = opts.synthTol;
             sopts.maxBlocks = std::min(7, b.count2Q - 1);
             sopts.descending = true;
+            sopts.seed = opts.seed;
+            sopts.memo = opts.synthMemo;
             synth::SynthesisResult r =
                 synth::synthesizeBlock(u, b.qubits, sopts);
             if (r.success &&

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "synth/synthesis.hh"
 
 namespace reqisc::compiler
 {
@@ -26,6 +27,20 @@ struct CompileOptions
     int mTh = 4;                 //!< hierarchical-synthesis threshold
     double synthTol = 1e-9;      //!< approximate-synthesis precision
     bool dagCompacting = true;   //!< ablation switch (Fig 14)
+    /**
+     * Seed for the numeric-instantiation searches. Compilation is a
+     * deterministic function of (input, options) including this seed,
+     * which is what lets the concurrent service promise bit-identical
+     * results regardless of thread count.
+     */
+    unsigned seed = 777;
+    /**
+     * Optional shared memo for hierarchical block resynthesis (the
+     * service layer installs its SynthCache here). A memo must only
+     * short-circuit work it re-verified to tolerance, so results are
+     * unchanged; nullptr compiles standalone.
+     */
+    synth::BlockMemo *synthMemo = nullptr;
     /**
      * Variational-program mode (Section 5.3.1): re-express every
      * SU(4) over one fixed 2Q basis gate plus parameterized 1Q

@@ -1,0 +1,362 @@
+#include "service/cache.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "synth/instantiate.hh"
+
+namespace reqisc::service
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnv1a(const std::vector<std::int64_t> &words)
+{
+    std::uint64_t h = kFnvOffset;
+    for (std::int64_t w : words) {
+        auto u = static_cast<std::uint64_t>(w);
+        for (int i = 0; i < 8; ++i) {
+            h ^= (u >> (8 * i)) & 0xffu;
+            h *= kFnvPrime;
+        }
+    }
+    return h;
+}
+
+/**
+ * Quantized fingerprint of a unitary after canonicalizing its global
+ * phase (divide by the phase of the first maximum-magnitude entry, a
+ * deterministic choice). Identical inputs — and inputs differing only
+ * by global phase — map to the same word sequence; anything else is
+ * a different key, so a key collision never silently changes results
+ * (hits are re-verified against the requested target anyway).
+ */
+std::vector<std::int64_t>
+fingerprint(const qmath::Matrix &u)
+{
+    const int n = u.rows();
+    // First strictly-maximal-magnitude entry, scanned row-major.
+    double best = -1.0;
+    qmath::Complex phase{1.0, 0.0};
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const double m = std::abs(u(i, j));
+            if (m > best + 1e-12) {
+                best = m;
+                phase = u(i, j) / m;
+            }
+        }
+    }
+    std::vector<std::int64_t> words;
+    words.reserve(2 * n * n);
+    const double scale = 1e12;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const qmath::Complex v = u(i, j) / phase;
+            words.push_back(std::llround(v.real() * scale));
+            words.push_back(std::llround(v.imag() * scale));
+        }
+    }
+    return words;
+}
+
+/** Append the search options that determine the outcome. */
+void
+appendOptions(std::vector<std::int64_t> &words,
+              const synth::SynthesisOptions &opts)
+{
+    words.push_back(std::llround(opts.tol * 1e15));
+    words.push_back(opts.maxBlocks);
+    words.push_back(opts.restarts);
+    words.push_back(static_cast<std::int64_t>(opts.seed));
+    words.push_back(opts.descending ? 1 : 0);
+}
+
+/** Rebuild the 8x8 unitary of a local-id synthesis result. */
+qmath::Matrix
+rebuild(const synth::SynthesisResult &r)
+{
+    qmath::Matrix u = qmath::Matrix::identity(8);
+    for (const circuit::Gate &g : r.gates)
+        u = synth::liftGate(g.matrix(), g.qubits, 3) * u;
+    return u;
+}
+
+} // namespace
+
+// ---- SynthCache --------------------------------------------------------
+
+SynthCache::SynthCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool
+SynthCache::lookup(const qmath::Matrix &target,
+                   const synth::SynthesisOptions &opts,
+                   synth::SynthesisResult &out)
+{
+    std::vector<std::int64_t> key = fingerprint(target);
+    appendOptions(key, opts);
+    const std::uint64_t h = fnv1a(key);
+
+    // Copy the candidate out under the lock, verify outside it: the
+    // rebuild-and-compare is the expensive part of a hit, and doing
+    // it in the critical section would serialize warm-cache workers.
+    synth::SynthesisResult candidate;
+    bool found = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto [it, last] = entries_.equal_range(h);
+        for (; it != last; ++it) {
+            if (it->second.key == key) {
+                candidate = it->second.result;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            ++stats_.misses;
+            return false;
+        }
+    }
+    // Re-verify successful entries against the requested target; a
+    // failed verification is treated as a miss (the caller
+    // recomputes), never as a wrong answer. Failure entries carry no
+    // gates to verify — they are trusted on the exact key, which
+    // reproduces the deterministic search outcome.
+    const bool verified =
+        !candidate.success ||
+        qmath::traceInfidelity(rebuild(candidate), target) <=
+            opts.tol;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!verified) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    auto [it, last] = entries_.equal_range(h);
+    for (; it != last; ++it) {
+        if (it->second.key == key) {  // may have been evicted since
+            ++it->second.uses;
+            it->second.lastUse = ++clock_;
+            break;
+        }
+    }
+    out = std::move(candidate);
+    return true;
+}
+
+void
+SynthCache::store(const qmath::Matrix &target,
+                  const synth::SynthesisOptions &opts,
+                  const synth::SynthesisResult &result,
+                  double solve_seconds)
+{
+    std::vector<std::int64_t> key = fingerprint(target);
+    appendOptions(key, opts);
+    const std::uint64_t h = fnv1a(key);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.solveSeconds += solve_seconds;
+    auto [it, last] = entries_.equal_range(h);
+    for (; it != last; ++it)
+        if (it->second.key == key)
+            return;  // racing job stored the identical result first
+    Entry e;
+    e.key = std::move(key);
+    e.result = result;
+    e.solveSeconds = solve_seconds;
+    e.uses = 1;
+    e.lastUse = ++clock_;
+    entries_.emplace(h, std::move(e));
+    evictIfNeeded();
+}
+
+void
+SynthCache::evictIfNeeded()
+{
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+CacheCounters
+SynthCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+std::size_t
+SynthCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+}
+
+std::vector<ClassStats>
+SynthCache::perClass() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<ClassStats> out;
+    out.reserve(entries_.size());
+    for (const auto &[h, e] : entries_) {
+        (void)h;
+        ClassStats s;
+        s.blockCount = e.result.blockCount;
+        s.uses = e.uses;
+        s.solveSeconds = e.solveSeconds;
+        out.push_back(s);
+    }
+    return out;
+}
+
+// ---- PulseCache --------------------------------------------------------
+
+PulseCache::PulseCache(const uarch::Coupling &cpl, double tol,
+                       std::size_t capacity)
+    : cpl_(cpl), tol_(std::max(tol, 1e-12)), capacity_(capacity)
+{
+}
+
+std::uint64_t
+PulseCache::cellOf(const weyl::WeylCoord &c) const
+{
+    const std::vector<std::int64_t> cell = {
+        static_cast<std::int64_t>(std::floor(c.x / tol_)),
+        static_cast<std::int64_t>(std::floor(c.y / tol_)),
+        static_cast<std::int64_t>(std::floor(c.z / tol_)),
+    };
+    return fnv1a(cell);
+}
+
+bool
+PulseCache::lookup(const weyl::WeylCoord &coord,
+                   uarch::PulseSolution &sol)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // Probe the coordinate's cell and all 26 neighbours so a match
+    // within tolerance is found regardless of cell-boundary effects.
+    auto lexLess = [](const weyl::WeylCoord &a,
+                      const weyl::WeylCoord &b) {
+        return std::tie(a.x, a.y, a.z) < std::tie(b.x, b.y, b.z);
+    };
+    Entry *best = nullptr;
+    double best_dist = tol_;
+    for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dz = -1; dz <= 1; ++dz) {
+                weyl::WeylCoord probe = coord;
+                probe.x += dx * tol_;
+                probe.y += dy * tol_;
+                probe.z += dz * tol_;
+                auto [it, last] = entries_.equal_range(cellOf(probe));
+                for (; it != last; ++it) {
+                    Entry &e = it->second;
+                    const double d = e.coord.distance(coord);
+                    // Deterministic choice among candidates: nearest
+                    // first, coordinate-lexicographic on ties (never
+                    // container iteration order).
+                    const bool better =
+                        !best || d < best_dist - 1e-15 ||
+                        (std::abs(d - best_dist) <= 1e-15 &&
+                         lexLess(e.coord, best->coord));
+                    if (d <= tol_ && better) {
+                        best = &e;
+                        best_dist = d;
+                    }
+                }
+            }
+        }
+    }
+    // Only verified solutions are served: converged, and the solver's
+    // own re-extraction matched its target class.
+    if (best && best->sol.converged && best->sol.coordError <= tol_) {
+        ++best->uses;
+        best->lastUse = ++clock_;
+        ++stats_.hits;
+        sol = best->sol;
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+PulseCache::store(const weyl::WeylCoord &coord,
+                  const uarch::PulseSolution &sol,
+                  double solve_seconds)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.solveSeconds += solve_seconds;
+    if (!sol.converged)
+        return;  // never serve unverified work; re-solve instead
+    const std::uint64_t h = cellOf(coord);
+    auto [it, last] = entries_.equal_range(h);
+    for (; it != last; ++it)
+        if (it->second.coord.distance(coord) <= tol_)
+            return;  // racing job stored this class first
+    Entry e;
+    e.coord = coord;
+    e.sol = sol;
+    e.solveSeconds = solve_seconds;
+    e.uses = 1;
+    e.lastUse = ++clock_;
+    entries_.emplace(h, std::move(e));
+    evictIfNeeded();
+}
+
+void
+PulseCache::evictIfNeeded()
+{
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+CacheCounters
+PulseCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+std::size_t
+PulseCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+}
+
+std::vector<ClassStats>
+PulseCache::perClass() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<ClassStats> out;
+    out.reserve(entries_.size());
+    for (const auto &[h, e] : entries_) {
+        (void)h;
+        ClassStats s;
+        s.coord = e.coord;
+        s.uses = e.uses;
+        s.solveSeconds = e.solveSeconds;
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace reqisc::service

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * SU(4)-equivalence memoization caches for the compilation service.
+ *
+ * The two expensive kernels of the stack — the 3-qubit structure
+ * search (synth::synthesizeBlock) and the genAshN multistart Newton
+ * pulse solve (uarch::GateScheme::solveCoord) — are memoized here so
+ * repeated classes across a batch of circuits are computed exactly
+ * once:
+ *
+ *  - SynthCache (implements synth::BlockMemo) keys block-resynthesis
+ *    results on a phase-canonicalized fingerprint of the target
+ *    unitary plus the search options. A hit therefore returns
+ *    exactly what the caller would have computed (the search is a
+ *    deterministic function of both), and is additionally re-verified
+ *    against the requested target before being returned — the bit-
+ *    identical-across-thread-counts guarantee of the service rests on
+ *    this.
+ *
+ *  - PulseCache (implements uarch::PulseMemo) keys pulse solutions on
+ *    the Weyl coordinate of the SU(4) local-equivalence class, with a
+ *    tolerance-aware bucketed lookup (coordinates are hashed into
+ *    cells of the cluster tolerance and neighbouring cells are
+ *    probed, so equality never depends on which side of a cell
+ *    boundary a coordinate falls). Only converged, verified solutions
+ *    are ever returned. A PulseCache is bound to one coupling.
+ *
+ * Both caches are thread-safe (one mutex each; the protected work is
+ * micro-seconds against milliseconds-to-seconds solves), LRU-bounded,
+ * and instrumented with compiler::CacheCounters plus per-class solve
+ * times.
+ */
+
+#ifndef REQISC_SERVICE_CACHE_HH
+#define REQISC_SERVICE_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/metrics.hh"
+#include "synth/synthesis.hh"
+#include "uarch/calibration.hh"
+
+namespace reqisc::service
+{
+
+using compiler::CacheCounters;
+
+/** Per-class instrumentation row (see `--stats` in reqisc-compile). */
+struct ClassStats
+{
+    weyl::WeylCoord coord;     //!< class representative (pulse cache)
+    int blockCount = 0;        //!< synthesized SU(4)s (synth cache)
+    std::int64_t uses = 0;     //!< lookups served (initial solve incl.)
+    double solveSeconds = 0.0; //!< wall time of the initial solve
+};
+
+/** Memoization cache for 3-qubit block resynthesis. */
+class SynthCache final : public synth::BlockMemo
+{
+  public:
+    explicit SynthCache(std::size_t capacity = 1 << 14);
+
+    bool lookup(const qmath::Matrix &target,
+                const synth::SynthesisOptions &opts,
+                synth::SynthesisResult &out) override;
+
+    void store(const qmath::Matrix &target,
+               const synth::SynthesisOptions &opts,
+               const synth::SynthesisResult &result,
+               double solve_seconds) override;
+
+    CacheCounters stats() const;
+    std::size_t size() const;
+
+    /** Snapshot of per-entry instrumentation (unordered). */
+    std::vector<ClassStats> perClass() const;
+
+  private:
+    struct Entry
+    {
+        std::vector<std::int64_t> key;
+        synth::SynthesisResult result;  //!< local qubit ids 0..2
+        double solveSeconds = 0.0;
+        std::int64_t uses = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    void evictIfNeeded();  //!< requires mu_ held
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::unordered_multimap<std::uint64_t, Entry> entries_;
+    CacheCounters stats_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Memoization cache for per-SU(4)-class pulse solutions. */
+class PulseCache final : public uarch::PulseMemo
+{
+  public:
+    /**
+     * @param cpl the coupling all cached solutions belong to (a
+     *        PulseCache must never be shared across couplings)
+     * @param tol Weyl-coordinate distance within which two classes
+     *        are considered equal (bucket width of the lookup)
+     * @param capacity LRU bound on the number of classes kept
+     */
+    explicit PulseCache(const uarch::Coupling &cpl, double tol = 1e-6,
+                        std::size_t capacity = 1 << 14);
+
+    bool lookup(const weyl::WeylCoord &coord,
+                uarch::PulseSolution &sol) override;
+
+    void store(const weyl::WeylCoord &coord,
+               const uarch::PulseSolution &sol,
+               double solve_seconds) override;
+
+    const uarch::Coupling &coupling() const { return cpl_; }
+    double tolerance() const { return tol_; }
+
+    CacheCounters stats() const;
+    std::size_t size() const;
+
+    /** Snapshot of per-class instrumentation (unordered). */
+    std::vector<ClassStats> perClass() const;
+
+  private:
+    struct Entry
+    {
+        weyl::WeylCoord coord;
+        uarch::PulseSolution sol;
+        double solveSeconds = 0.0;
+        std::int64_t uses = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t cellOf(const weyl::WeylCoord &c) const;
+    void evictIfNeeded();  //!< requires mu_ held
+
+    uarch::Coupling cpl_;
+    double tol_;
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    /** Cell hash -> entries whose coordinate falls in that cell. */
+    std::unordered_multimap<std::uint64_t, Entry> entries_;
+    CacheCounters stats_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace reqisc::service
+
+#endif // REQISC_SERVICE_CACHE_HH

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * reqisc-compile — batch compilation front-end for the service.
+ *
+ * Reads one or more OpenQASM files (and/or generated suite circuits),
+ * compiles them through reqiscEff / reqiscFull on a CompileService
+ * with `--jobs N` worker threads and shared SU(4) memoization caches,
+ * and prints per-circuit metrics (#2Q, 2Q-depth, duration,
+ * distinct-SU(4), cache hit rate) as an aligned table or JSON.
+ *
+ *   reqisc-compile --jobs 4 --stats examples/qasm/ghz8.qasm
+ *   reqisc-compile --suite small --repeat 5 --json
+ *
+ * Exit status: 0 when every job compiled, 1 on any per-job failure
+ * (each failure is reported with its captured error), 2 on usage
+ * errors.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/service.hh"
+#include "suite/suite.hh"
+
+namespace
+{
+
+using namespace reqisc;
+
+struct CliOptions
+{
+    std::vector<std::string> files;
+    std::string suite;           //!< "", "small" or "medium"
+    service::Pipeline pipeline = service::Pipeline::Full;
+    int jobs = 1;
+    int repeat = 1;
+    unsigned seed = 777;
+    bool variational = false;
+    bool noCache = false;
+    bool calibrate = true;
+    bool stats = false;
+    bool json = false;
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: reqisc-compile [options] [file.qasm ...]\n"
+          "\n"
+          "options:\n"
+          "  --pipeline eff|full   pipeline to run (default: full)\n"
+          "  --jobs N              worker threads; 0 = all cores "
+          "(default: 1)\n"
+          "  --repeat K            submit each input K times "
+          "(default: 1)\n"
+          "  --suite small|medium  also compile the built-in suite\n"
+          "  --seed N              instantiation seed (default: 777)\n"
+          "  --variational         variational (fixed-basis) mode\n"
+          "  --no-cache            disable the shared SU(4) caches\n"
+          "  --no-calibrate        skip calibration planning\n"
+          "  --stats               print cache statistics\n"
+          "  --json                machine-readable output\n"
+          "  --help                this text\n";
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &cli)
+{
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "reqisc-compile: missing value for "
+                      << argv[i] << "\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            std::exit(0);
+        } else if (arg == "--pipeline") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            if (std::string(v) == "eff") {
+                cli.pipeline = service::Pipeline::Eff;
+            } else if (std::string(v) == "full") {
+                cli.pipeline = service::Pipeline::Full;
+            } else {
+                std::cerr << "reqisc-compile: unknown pipeline '"
+                          << v << "'\n";
+                return false;
+            }
+        } else if (arg == "--jobs") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.jobs = std::atoi(v);
+        } else if (arg == "--repeat") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.repeat = std::max(1, std::atoi(v));
+        } else if (arg == "--suite") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.suite = v;
+            if (cli.suite != "small" && cli.suite != "medium") {
+                std::cerr << "reqisc-compile: unknown suite '"
+                          << cli.suite << "'\n";
+                return false;
+            }
+        } else if (arg == "--seed") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.seed = static_cast<unsigned>(std::atol(v));
+        } else if (arg == "--variational") {
+            cli.variational = true;
+        } else if (arg == "--no-cache") {
+            cli.noCache = true;
+        } else if (arg == "--no-calibrate") {
+            cli.calibrate = false;
+        } else if (arg == "--stats") {
+            cli.stats = true;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "reqisc-compile: unknown option '" << arg
+                      << "'\n";
+            return false;
+        } else {
+            cli.files.push_back(arg);
+        }
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << v;
+    return os.str();
+}
+
+void
+printCacheBlock(const char *label,
+                const compiler::CacheCounters &c,
+                std::size_t entries,
+                const std::vector<service::ClassStats> &per_class,
+                bool show_coords)
+{
+    std::cout << label << ": " << entries << " classes, " << c.hits
+              << " hits / " << c.misses << " misses ("
+              << fmtDouble(100.0 * c.hitRate(), 1) << "% hit rate), "
+              << c.evictions << " evictions, "
+              << fmtDouble(c.solveSeconds, 3) << " s solving\n";
+    // The heaviest classes first: most-used, then slowest to solve.
+    std::vector<service::ClassStats> rows = per_class;
+    std::sort(rows.begin(), rows.end(),
+              [](const service::ClassStats &a,
+                 const service::ClassStats &b) {
+                  if (a.uses != b.uses)
+                      return a.uses > b.uses;
+                  return a.solveSeconds > b.solveSeconds;
+              });
+    const std::size_t shown = std::min<std::size_t>(rows.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto &r = rows[i];
+        std::cout << "    ";
+        if (show_coords)
+            std::cout << r.coord.toString();
+        else
+            std::cout << r.blockCount << " SU(4) blocks";
+        std::cout << "  uses=" << r.uses << "  solve="
+                  << fmtDouble(1e3 * r.solveSeconds, 2) << " ms\n";
+    }
+    if (rows.size() > shown)
+        std::cout << "    ... " << (rows.size() - shown)
+                  << " more classes\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    if (!parseArgs(argc, argv, cli))
+        return 2;
+    if (cli.files.empty() && cli.suite.empty()) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    // Assemble the batch: QASM files are parsed inside the workers
+    // (so malformed input surfaces as a per-job error, not a crash).
+    std::vector<service::CompileRequest> batch;
+    for (const std::string &path : cli.files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "reqisc-compile: cannot open '" << path
+                      << "'\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        service::CompileRequest req;
+        req.name = path;
+        req.qasm = text.str();
+        batch.push_back(std::move(req));
+    }
+    if (!cli.suite.empty()) {
+        const std::vector<suite::Benchmark> bms =
+            cli.suite == "small" ? suite::smallSuite()
+                                 : suite::mediumSuite();
+        for (const suite::Benchmark &bm : bms) {
+            service::CompileRequest req;
+            req.name = bm.name;
+            req.input = bm.circuit;
+            batch.push_back(std::move(req));
+        }
+    }
+    for (service::CompileRequest &req : batch) {
+        req.pipeline = cli.pipeline;
+        req.options.seed = cli.seed;
+        req.options.variationalMode = cli.variational;
+        req.calibrate = cli.calibrate;
+    }
+    if (cli.repeat > 1) {
+        const std::vector<service::CompileRequest> once = batch;
+        for (int k = 1; k < cli.repeat; ++k)
+            batch.insert(batch.end(), once.begin(), once.end());
+    }
+
+    service::ServiceOptions sopts;
+    sopts.threads = cli.jobs;
+    sopts.enableSynthCache = !cli.noCache;
+    sopts.enablePulseCache = !cli.noCache;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    service::CompileService svc(sopts);
+    svc.submitBatch(std::move(batch));
+    std::vector<service::JobResult> results = svc.waitAll();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    int failures = 0;
+    for (const service::JobResult &r : results)
+        if (!r.ok)
+            ++failures;
+
+    const compiler::CacheCounters synth_stats =
+        svc.synthCacheStats();
+    const compiler::CacheCounters pulse_stats =
+        svc.pulseCacheStats();
+
+    if (cli.json) {
+        std::cout << "{\n  \"jobs\": " << svc.threads()
+                  << ",\n  \"wallSeconds\": " << fmtDouble(wall, 4)
+                  << ",\n  \"circuits\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const service::JobResult &r = results[i];
+            std::cout << "    {\"name\": \"" << jsonEscape(r.name)
+                      << "\", \"ok\": " << (r.ok ? "true" : "false");
+            if (r.ok) {
+                std::cout
+                    << ", \"count2Q\": " << r.metrics.count2Q
+                    << ", \"depth2Q\": " << r.metrics.depth2Q
+                    << ", \"duration\": "
+                    << fmtDouble(r.metrics.duration, 4)
+                    << ", \"distinctSU4\": "
+                    << r.metrics.distinctSU4
+                    << ", \"synthCacheHitRate\": "
+                    << fmtDouble(r.metrics.synthCache.hitRate(), 4)
+                    << ", \"pulseCacheHitRate\": "
+                    << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
+                    << ", \"seconds\": " << fmtDouble(r.seconds, 4);
+            } else {
+                std::cout << ", \"error\": \""
+                          << jsonEscape(r.error) << "\"";
+            }
+            std::cout << "}"
+                      << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        std::cout << "  ],\n  \"synthCache\": {\"hits\": "
+                  << synth_stats.hits << ", \"misses\": "
+                  << synth_stats.misses << ", \"evictions\": "
+                  << synth_stats.evictions << ", \"solveSeconds\": "
+                  << fmtDouble(synth_stats.solveSeconds, 4)
+                  << ", \"entries\": " << svc.synthCacheSize()
+                  << "},\n  \"pulseCache\": {\"hits\": "
+                  << pulse_stats.hits << ", \"misses\": "
+                  << pulse_stats.misses << ", \"evictions\": "
+                  << pulse_stats.evictions << ", \"solveSeconds\": "
+                  << fmtDouble(pulse_stats.solveSeconds, 4)
+                  << ", \"entries\": " << svc.pulseCacheSize()
+                  << "}\n}\n";
+    } else {
+        std::printf("%-28s %6s %7s %9s %8s %7s %7s %8s\n", "circuit",
+                    "#2Q", "2Q-dep", "duration", "distSU4", "synth%",
+                    "pulse%", "ms");
+        for (const service::JobResult &r : results) {
+            if (!r.ok) {
+                std::printf("%-28s ERROR: %s\n", r.name.c_str(),
+                            r.error.c_str());
+                continue;
+            }
+            std::printf(
+                "%-28s %6d %7d %9.3f %8d %6.1f%% %6.1f%% %8.1f\n",
+                r.name.c_str(), r.metrics.count2Q,
+                r.metrics.depth2Q, r.metrics.duration,
+                r.metrics.distinctSU4,
+                100.0 * r.metrics.synthCache.hitRate(),
+                100.0 * r.metrics.pulseCache.hitRate(),
+                1e3 * r.seconds);
+        }
+        std::printf("\n%zu circuits, %d failed, %d jobs, %.3f s "
+                    "(%.2f circuits/s)\n",
+                    results.size(), failures, svc.threads(), wall,
+                    results.empty() ? 0.0 : results.size() / wall);
+        if (cli.stats) {
+            std::cout << "\n";
+            printCacheBlock("synth cache", synth_stats,
+                            svc.synthCacheSize(),
+                            svc.synthCachePerClass(), false);
+            printCacheBlock("pulse cache", pulse_stats,
+                            svc.pulseCacheSize(),
+                            svc.pulseCachePerClass(), true);
+        }
+    }
+
+    return failures ? 1 : 0;
+}

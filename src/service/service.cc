@@ -1,0 +1,306 @@
+#include "service/service.hh"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "circuit/qasm.hh"
+
+namespace reqisc::service
+{
+
+namespace
+{
+
+/**
+ * Per-job counting adapters: forward to the shared cache while
+ * attributing this job's hits/misses/solve time to its Metrics. The
+ * hit/miss *split* depends on what other jobs populated first; the
+ * compiled artifacts do not (see the determinism contract).
+ */
+class CountingBlockMemo final : public synth::BlockMemo
+{
+  public:
+    explicit CountingBlockMemo(synth::BlockMemo *inner)
+        : inner_(inner)
+    {
+    }
+
+    bool lookup(const qmath::Matrix &target,
+                const synth::SynthesisOptions &opts,
+                synth::SynthesisResult &out) override
+    {
+        const bool hit = inner_->lookup(target, opts, out);
+        if (hit)
+            ++counters_.hits;
+        else
+            ++counters_.misses;
+        return hit;
+    }
+
+    void store(const qmath::Matrix &target,
+               const synth::SynthesisOptions &opts,
+               const synth::SynthesisResult &result,
+               double solve_seconds) override
+    {
+        counters_.solveSeconds += solve_seconds;
+        inner_->store(target, opts, result, solve_seconds);
+    }
+
+    const CacheCounters &counters() const { return counters_; }
+
+  private:
+    synth::BlockMemo *inner_;
+    CacheCounters counters_;
+};
+
+class CountingPulseMemo final : public uarch::PulseMemo
+{
+  public:
+    explicit CountingPulseMemo(uarch::PulseMemo *inner)
+        : inner_(inner)
+    {
+    }
+
+    bool lookup(const weyl::WeylCoord &coord,
+                uarch::PulseSolution &sol) override
+    {
+        const bool hit = inner_->lookup(coord, sol);
+        if (hit)
+            ++counters_.hits;
+        else
+            ++counters_.misses;
+        return hit;
+    }
+
+    void store(const weyl::WeylCoord &coord,
+               const uarch::PulseSolution &sol,
+               double solve_seconds) override
+    {
+        counters_.solveSeconds += solve_seconds;
+        inner_->store(coord, sol, solve_seconds);
+    }
+
+    const CacheCounters &counters() const { return counters_; }
+
+  private:
+    uarch::PulseMemo *inner_;
+    CacheCounters counters_;
+};
+
+} // namespace
+
+CompileService::CompileService(ServiceOptions opts)
+    : opts_(opts)
+{
+    threads_ = opts_.threads;
+    if (threads_ <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw ? static_cast<int>(hw) : 1;
+    }
+    if (opts_.enableSynthCache)
+        synthCache_ = std::make_unique<SynthCache>(
+            opts_.synthCacheCapacity);
+    if (opts_.enablePulseCache)
+        pulseCache_ = std::make_unique<PulseCache>(
+            opts_.coupling, opts_.pulseClusterTol,
+            opts_.pulseCacheCapacity);
+    workers_.reserve(threads_);
+    for (int i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+std::uint64_t
+CompileService::submit(CompileRequest req)
+{
+    std::uint64_t id;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        id = nextId_++;
+        queue_.push_back(Job{id, std::move(req)});
+        pending_.insert(id);
+        ++inFlight_;
+    }
+    workCv_.notify_one();
+    return id;
+}
+
+std::vector<std::uint64_t>
+CompileService::submitBatch(std::vector<CompileRequest> reqs)
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(reqs.size());
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (CompileRequest &r : reqs) {
+            const std::uint64_t id = nextId_++;
+            queue_.push_back(Job{id, std::move(r)});
+            pending_.insert(id);
+            ++inFlight_;
+            ids.push_back(id);
+        }
+    }
+    workCv_.notify_all();
+    return ids;
+}
+
+JobResult
+CompileService::wait(std::uint64_t id)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    if (id == 0 || id >= nextId_)
+        throw std::invalid_argument("unknown job id");
+    for (;;) {
+        auto it = results_.find(id);
+        if (it != results_.end()) {
+            JobResult res = std::move(it->second);
+            results_.erase(it);
+            return res;
+        }
+        if (pending_.find(id) == pending_.end())
+            throw std::invalid_argument(
+                "job result already taken");
+        doneCv_.wait(lk);
+    }
+}
+
+std::vector<JobResult>
+CompileService::waitAll()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [this] { return inFlight_ == 0; });
+    std::vector<JobResult> out;
+    out.reserve(results_.size());
+    for (auto &[id, res] : results_) {
+        (void)id;
+        out.push_back(std::move(res));
+    }
+    results_.clear();
+    return out;
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and fully drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        JobResult res = runJob(job);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            pending_.erase(job.id);
+            results_.emplace(job.id, std::move(res));
+            --inFlight_;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+JobResult
+CompileService::runJob(const Job &job)
+{
+    JobResult res;
+    res.id = job.id;
+    res.name = job.req.name;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        const circuit::Circuit input =
+            job.req.qasm.empty() ? job.req.input
+                                 : circuit::fromQasm(job.req.qasm);
+        compiler::CompileOptions copts = job.req.options;
+        CountingBlockMemo synthMemo(synthCache_.get());
+        if (synthCache_)
+            copts.synthMemo = &synthMemo;
+        compiler::CompileResult compiled =
+            job.req.pipeline == Pipeline::Eff
+                ? compiler::reqiscEff(input, copts)
+                : compiler::reqiscFull(input, copts);
+        res.metrics = compiler::evaluate(
+            compiled.circuit,
+            compiler::reqiscDurationModel(opts_.coupling));
+        if (synthCache_)
+            res.metrics.synthCache = synthMemo.counters();
+        if (job.req.calibrate) {
+            CountingPulseMemo pulseMemo(pulseCache_.get());
+            const uarch::CalibrationPlan plan =
+                uarch::planCalibration(
+                    compiled.circuit, opts_.coupling,
+                    opts_.pulseClusterTol,
+                    pulseCache_ ? &pulseMemo : nullptr);
+            res.unsolvedClasses = plan.unsolved;
+            if (pulseCache_)
+                res.metrics.pulseCache = pulseMemo.counters();
+        }
+        res.compiled = std::move(compiled);
+        res.ok = true;
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+    } catch (...) {
+        res.ok = false;
+        res.error = "unknown error";
+    }
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+CacheCounters
+CompileService::synthCacheStats() const
+{
+    return synthCache_ ? synthCache_->stats() : CacheCounters{};
+}
+
+CacheCounters
+CompileService::pulseCacheStats() const
+{
+    return pulseCache_ ? pulseCache_->stats() : CacheCounters{};
+}
+
+std::size_t
+CompileService::synthCacheSize() const
+{
+    return synthCache_ ? synthCache_->size() : 0;
+}
+
+std::size_t
+CompileService::pulseCacheSize() const
+{
+    return pulseCache_ ? pulseCache_->size() : 0;
+}
+
+std::vector<ClassStats>
+CompileService::synthCachePerClass() const
+{
+    return synthCache_ ? synthCache_->perClass()
+                       : std::vector<ClassStats>{};
+}
+
+std::vector<ClassStats>
+CompileService::pulseCachePerClass() const
+{
+    return pulseCache_ ? pulseCache_->perClass()
+                       : std::vector<ClassStats>{};
+}
+
+} // namespace reqisc::service

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Concurrent compilation service (the persistent-compiler framing of
+ * eQASM / Quil: the compiler sits in front of the QPU as a service,
+ * not a one-shot script).
+ *
+ * A CompileService owns a fixed pool of worker threads, a job queue,
+ * and the two SU(4)-equivalence memoization caches of cache.hh,
+ * shared across all jobs so repeated classes in a batch are
+ * synthesized and pulse-solved exactly once. Jobs are submitted as
+ * circuits or raw QASM (parsed in the worker, so parse errors are
+ * captured per job like any other failure) and collected with
+ * wait()/waitAll().
+ *
+ * Determinism contract: compilation is a pure function of
+ * (input, CompileOptions) — every job carries its own options with a
+ * deterministic seed, and the SynthCache only short-circuits work it
+ * keys on exactly and re-verifies to tolerance — so the compiled
+ * artifacts (gate stream, final permutation) and circuit metrics are
+ * bit-identical regardless of the thread count or the order in which
+ * jobs interleave. tests/test_service.cc pins this down. Outside the
+ * contract: pulse-solve *attribution* (cache hit/miss splits, and
+ * JobResult::unsolvedClasses when two distinct classes fall within
+ * the cluster tolerance and only one of them converges) follows the
+ * schedule, because the PulseCache deliberately shares solutions
+ * within tolerance — pulse solutions never feed back into compiled
+ * circuits.
+ */
+
+#ifndef REQISC_SERVICE_SERVICE_HH
+#define REQISC_SERVICE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/metrics.hh"
+#include "compiler/pipeline.hh"
+#include "service/cache.hh"
+#include "uarch/calibration.hh"
+
+namespace reqisc::service
+{
+
+/** Which end-to-end pipeline a job runs. */
+enum class Pipeline
+{
+    Eff,   //!< reqiscEff
+    Full,  //!< reqiscFull
+};
+
+/** Service-wide configuration (fixed at construction). */
+struct ServiceOptions
+{
+    /** Worker threads; 0 means hardware_concurrency(). */
+    int threads = 1;
+    bool enableSynthCache = true;
+    bool enablePulseCache = true;
+    std::size_t synthCacheCapacity = 1 << 14;
+    std::size_t pulseCacheCapacity = 1 << 14;
+    /** Target hardware: duration model, pulse solves, calibration. */
+    uarch::Coupling coupling = uarch::Coupling::xy(1.0);
+    /** SU(4)-class clustering tolerance (calibration + pulse cache). */
+    double pulseClusterTol = 1e-6;
+};
+
+/** One unit of work. */
+struct CompileRequest
+{
+    std::string name;             //!< label echoed in the result
+    circuit::Circuit input;       //!< used unless `qasm` is set
+    std::string qasm;             //!< parsed in the worker when set
+    Pipeline pipeline = Pipeline::Full;
+    compiler::CompileOptions options;
+    /** Build the per-circuit calibration plan (shared pulse cache). */
+    bool calibrate = true;
+};
+
+/** Outcome of one job; `ok == false` carries the captured error. */
+struct JobResult
+{
+    std::uint64_t id = 0;
+    std::string name;
+    bool ok = false;
+    std::string error;
+    compiler::CompileResult compiled;
+    compiler::Metrics metrics;       //!< incl. per-job cache counters
+    /**
+     * Calibration classes the solver could not reach. Like the cache
+     * hit/miss split, this can follow the schedule in the corner case
+     * of near-coincident classes (see the determinism contract above).
+     */
+    int unsolvedClasses = 0;
+    double seconds = 0.0;            //!< wall time in the worker
+};
+
+/** The concurrent compilation service. */
+class CompileService
+{
+  public:
+    explicit CompileService(ServiceOptions opts = {});
+    ~CompileService();  //!< drains the queue and joins the workers
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /** Enqueue one job; returns its id (ids are dense from 1). */
+    std::uint64_t submit(CompileRequest req);
+
+    /** Enqueue a batch; returns the ids in order. */
+    std::vector<std::uint64_t>
+    submitBatch(std::vector<CompileRequest> reqs);
+
+    /**
+     * Block until the given job finishes and take its result.
+     * Throws std::invalid_argument for an unknown id (never issued,
+     * or already taken).
+     */
+    JobResult wait(std::uint64_t id);
+
+    /**
+     * Block until every submitted job finishes; returns all results
+     * not yet taken, in submission order.
+     */
+    std::vector<JobResult> waitAll();
+
+    int threads() const { return threads_; }
+
+    /** Shared-cache instrumentation (service lifetime totals). */
+    CacheCounters synthCacheStats() const;
+    CacheCounters pulseCacheStats() const;
+    /** Live class counts (entries currently cached). */
+    std::size_t synthCacheSize() const;
+    std::size_t pulseCacheSize() const;
+    /** Per-class rows for `--stats`; empty when a cache is off. */
+    std::vector<ClassStats> synthCachePerClass() const;
+    std::vector<ClassStats> pulseCachePerClass() const;
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        CompileRequest req;
+    };
+
+    void workerLoop();
+    JobResult runJob(const Job &job);
+
+    ServiceOptions opts_;
+    int threads_ = 1;
+    std::unique_ptr<SynthCache> synthCache_;   //!< null when disabled
+    std::unique_ptr<PulseCache> pulseCache_;   //!< null when disabled
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;   //!< queue -> workers
+    std::condition_variable doneCv_;   //!< results -> waiters
+    std::deque<Job> queue_;
+    std::map<std::uint64_t, JobResult> results_;  //!< finished jobs
+    std::unordered_set<std::uint64_t> pending_;   //!< queued/running
+    std::uint64_t nextId_ = 1;
+    std::uint64_t inFlight_ = 0;       //!< queued or running jobs
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace reqisc::service
+
+#endif // REQISC_SERVICE_SERVICE_HH

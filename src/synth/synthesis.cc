@@ -1,6 +1,7 @@
 #include "synth/synthesis.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "circuit/lower.hh"
@@ -80,31 +81,21 @@ slotsToGates(const std::vector<Slot> &slots,
     return gates;
 }
 
-} // namespace
-
+/**
+ * The actual 3-qubit structure search, emitting gates on local qubit
+ * ids 0..2 so results can be memoized independently of placement.
+ */
 SynthesisResult
-synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
-                const SynthesisOptions &opts)
+synthesizeThreeQubitLocal(const Matrix &target,
+                          const SynthesisOptions &opts)
 {
     SynthesisResult res;
-    const int w = static_cast<int>(qubits.size());
-    assert(w == 2 || w == 3);
-    assert(target.rows() == (1 << w));
+    const std::vector<int> local_ids = {0, 1, 2};
 
     InstantiateOptions iopts;
     iopts.tol = opts.tol;
     iopts.restarts = opts.restarts;
     iopts.seed = opts.seed;
-
-    if (w == 2) {
-        // A single block always suffices.
-        res.success = true;
-        res.infidelity = 0.0;
-        res.blockCount = 1;
-        res.gates.push_back(
-            Gate::u4(qubits[0], qubits[1], target));
-        return res;
-    }
 
     // Zero blocks: purely local target.
     {
@@ -115,7 +106,7 @@ synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
             res.success = true;
             res.infidelity = r.infidelity;
             res.blockCount = 0;
-            res.gates = slotsToGates(r.slots, qubits);
+            res.gates = slotsToGates(r.slots, local_ids);
             return res;
         }
     }
@@ -139,7 +130,7 @@ synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
                 slot_res.success = true;
                 slot_res.infidelity = r.infidelity;
                 slot_res.blockCount = k;
-                slot_res.gates = slotsToGates(r.slots, qubits);
+                slot_res.gates = slotsToGates(r.slots, local_ids);
                 return true;
             }
         }
@@ -170,6 +161,56 @@ synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
             return found;
     }
     return res;
+}
+
+/** Relabel a local-id result onto the block's global qubit ids. */
+SynthesisResult
+remapResult(SynthesisResult local, const std::vector<int> &qubits)
+{
+    for (Gate &g : local.gates)
+        for (int &q : g.qubits)
+            q = qubits[q];
+    return local;
+}
+
+} // namespace
+
+SynthesisResult
+synthesizeBlock(const Matrix &target, const std::vector<int> &qubits,
+                const SynthesisOptions &opts)
+{
+    const int w = static_cast<int>(qubits.size());
+    assert(w == 2 || w == 3);
+    assert(target.rows() == (1 << w));
+
+    if (w == 2) {
+        // A single block always suffices.
+        SynthesisResult res;
+        res.success = true;
+        res.infidelity = 0.0;
+        res.blockCount = 1;
+        res.gates.push_back(
+            Gate::u4(qubits[0], qubits[1], target));
+        return res;
+    }
+
+    if (opts.memo) {
+        SynthesisResult cached;
+        if (opts.memo->lookup(target, opts, cached))
+            return remapResult(std::move(cached), qubits);
+        const auto t0 = std::chrono::steady_clock::now();
+        SynthesisResult local =
+            synthesizeThreeQubitLocal(target, opts);
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        opts.memo->store(target, opts, local, secs);
+        return remapResult(std::move(local), qubits);
+    }
+
+    return remapResult(synthesizeThreeQubitLocal(target, opts),
+                       qubits);
 }
 
 std::vector<Gate>

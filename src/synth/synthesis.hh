@@ -20,6 +20,49 @@
 namespace reqisc::synth
 {
 
+struct SynthesisOptions;
+struct SynthesisResult;
+
+/**
+ * Memoization hook for block synthesis (implemented by
+ * service::SynthCache; this layer only defines the interface so the
+ * dependency direction stays downward).
+ *
+ * Cached gate lists use *local* qubit indices 0..w-1;
+ * synthesizeBlock remaps them onto the block's global ids. Because
+ * the search outcome is a deterministic function of (target, search
+ * options), implementations key on both and may only return entries
+ * they re-verified against the requested target — so a hit is
+ * behaviourally identical to recomputing, regardless of which caller
+ * populated the cache first.
+ */
+class BlockMemo
+{
+  public:
+    virtual ~BlockMemo() = default;
+
+    /**
+     * @param target block unitary (2^w x 2^w)
+     * @param opts the search options the caller would use
+     * @param out filled with the cached result (local qubit ids)
+     * @return true on a verified hit
+     */
+    virtual bool lookup(const Matrix &target,
+                        const SynthesisOptions &opts,
+                        SynthesisResult &out) = 0;
+
+    /**
+     * Record a freshly computed result (gates in local qubit ids).
+     *
+     * @param solve_seconds wall time the computation took, kept for
+     *        the per-class instrumentation
+     */
+    virtual void store(const Matrix &target,
+                       const SynthesisOptions &opts,
+                       const SynthesisResult &result,
+                       double solve_seconds) = 0;
+};
+
 /** Options for block synthesis. */
 struct SynthesisOptions
 {
@@ -34,6 +77,8 @@ struct SynthesisOptions
      * successful — much cheaper on the hot block-resynthesis path.
      */
     bool descending = false;
+    /** Optional cross-call memoization (see BlockMemo). */
+    BlockMemo *memo = nullptr;
 };
 
 /** Result of a block synthesis. */

@@ -162,6 +162,7 @@ TemplateLibrary::build(Op op)
 const std::vector<TemplateEntry> &
 TemplateLibrary::variants(Op op)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = lib_.find(op);
     if (it == lib_.end()) {
         build(op);

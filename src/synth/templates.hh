@@ -14,6 +14,7 @@
 #define REQISC_SYNTH_TEMPLATES_HH
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "circuit/circuit.hh"
@@ -32,7 +33,15 @@ struct TemplateEntry
     std::pair<int, int> lastPair{-1, -1};
 };
 
-/** Lazily built singleton collection of synthesis templates. */
+/**
+ * Lazily built singleton collection of synthesis templates.
+ *
+ * Thread-safe: concurrent compile jobs (service::CompileService
+ * workers) all share the instance, so the lazy build-on-first-use is
+ * serialized by a mutex. Returned references stay valid and
+ * immutable after their build (the map is node-based and entries are
+ * never modified or erased).
+ */
 class TemplateLibrary
 {
   public:
@@ -55,8 +64,9 @@ class TemplateLibrary
   private:
     TemplateLibrary() = default;
 
-    void build(circuit::Op op);
+    void build(circuit::Op op);  //!< requires mu_ held
 
+    std::mutex mu_;
     std::map<circuit::Op, std::vector<TemplateEntry>> lib_;
 };
 

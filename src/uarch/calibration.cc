@@ -1,11 +1,13 @@
 #include "uarch/calibration.hh"
 
+#include <chrono>
+
 namespace reqisc::uarch
 {
 
 CalibrationPlan
 planCalibration(const circuit::Circuit &c, const Coupling &cpl,
-                double cluster_tol)
+                double cluster_tol, PulseMemo *memo)
 {
     CalibrationPlan plan;
     GateScheme scheme(cpl);
@@ -26,7 +28,18 @@ planCalibration(const circuit::Circuit &c, const Coupling &cpl,
         CalibrationEntry e;
         e.coord = coord;
         e.uses = 1;
+        if (memo && memo->lookup(coord, e.pulse)) {
+            plan.entries.push_back(std::move(e));
+            continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
         e.pulse = scheme.solveCoord(coord);
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (memo)
+            memo->store(coord, e.pulse, secs);
         if (!e.pulse.converged)
             ++plan.unsolved;
         plan.entries.push_back(std::move(e));

@@ -21,6 +21,35 @@
 namespace reqisc::uarch
 {
 
+/**
+ * Memoization hook for pulse solves (implemented by
+ * service::PulseCache; only the interface lives at this layer so the
+ * dependency direction stays downward). An implementation is bound to
+ * one coupling: callers must not share a memo across couplings. A
+ * lookup may only return solutions the implementation can re-verify
+ * for the requested coordinate (converged, coordinate within
+ * tolerance), so a hit is behaviourally identical to re-solving.
+ */
+class PulseMemo
+{
+  public:
+    virtual ~PulseMemo() = default;
+
+    /** @return true on a verified hit; fills `sol`. */
+    virtual bool lookup(const weyl::WeylCoord &coord,
+                        PulseSolution &sol) = 0;
+
+    /**
+     * Record a freshly computed solution.
+     *
+     * @param solve_seconds wall time the solve took (per-class
+     *        instrumentation)
+     */
+    virtual void store(const weyl::WeylCoord &coord,
+                       const PulseSolution &sol,
+                       double solve_seconds) = 0;
+};
+
 /** One calibration entry: a distinct SU(4) class and its pulse. */
 struct CalibrationEntry
 {
@@ -54,11 +83,16 @@ struct CalibrationPlan
 /**
  * Build the calibration plan for a compiled {Can, U3} circuit on the
  * given coupling. Gates are clustered by Weyl coordinate with the
- * given tolerance; each class is solved once.
+ * given tolerance; each class is solved once. With a `memo`, classes
+ * already pulse-solved elsewhere (e.g. by another circuit of a batch
+ * going through the same service cache) are reused instead of
+ * re-solved — the clustering itself stays per-circuit, so the
+ * entry list is deterministic regardless of cache state.
  */
 CalibrationPlan planCalibration(const circuit::Circuit &c,
                                 const Coupling &cpl,
-                                double cluster_tol = 1e-6);
+                                double cluster_tol = 1e-6,
+                                PulseMemo *memo = nullptr);
 
 } // namespace reqisc::uarch
 

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the concurrent compilation service and the SU(4)
+ * memoization caches: cache correctness (hit/miss/eviction semantics,
+ * tolerance-bucketed lookup, verification-gated hits), service
+ * determinism across thread counts (the bit-identical contract), and
+ * per-job error capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "circuit/lower.hh"
+#include "circuit/qasm.hh"
+#include "compiler/pipeline.hh"
+#include "qsim/statevector.hh"
+#include "service/cache.hh"
+#include "service/service.hh"
+#include "suite/suite.hh"
+#include "test_util.hh"
+
+using namespace reqisc;
+using namespace reqisc::circuit;
+using namespace reqisc::qmath;
+
+namespace
+{
+
+/** A compiled program, flattened to a comparable byte string. */
+std::string
+flatten(const service::JobResult &r)
+{
+    std::ostringstream os;
+    os << circuit::toQasm(r.compiled.circuit) << "|perm:";
+    for (int p : r.compiled.finalPermutation)
+        os << p << ",";
+    os << "|2q:" << r.metrics.count2Q << "|d:" << r.metrics.depth2Q
+       << "|dur:";
+    os.precision(17);
+    os << r.metrics.duration << "|su4:" << r.metrics.distinctSU4;
+    return os.str();
+}
+
+/** A 20-job batch cycling through the small suite. */
+std::vector<service::CompileRequest>
+twentyCircuitBatch()
+{
+    const auto bms = suite::smallSuite();
+    std::vector<service::CompileRequest> batch;
+    for (int i = 0; i < 20; ++i) {
+        service::CompileRequest req;
+        req.name = bms[i % bms.size()].name + "#" +
+                   std::to_string(i / bms.size());
+        req.input = bms[i % bms.size()].circuit;
+        req.pipeline = service::Pipeline::Full;
+        batch.push_back(std::move(req));
+    }
+    return batch;
+}
+
+} // namespace
+
+// ---- SynthCache --------------------------------------------------------
+
+TEST(SynthCache, RepeatedBlockIsSynthesizedOnce)
+{
+    Rng rng(11);
+    const Matrix target = randomUnitary(8, rng);
+    service::SynthCache cache;
+
+    synth::SynthesisOptions opts;
+    opts.descending = true;
+    opts.memo = &cache;
+    const std::vector<int> qubits_a = {0, 1, 2};
+    const std::vector<int> qubits_b = {4, 6, 5};
+
+    synth::SynthesisResult first =
+        synth::synthesizeBlock(target, qubits_a, opts);
+    ASSERT_TRUE(first.success);
+    EXPECT_EQ(cache.stats().hits, 0);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_GT(cache.stats().solveSeconds, 0.0);
+
+    // Same class on different qubits: a hit, remapped onto them.
+    synth::SynthesisResult second =
+        synth::synthesizeBlock(target, qubits_b, opts);
+    ASSERT_TRUE(second.success);
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().misses, 1);
+    EXPECT_EQ(first.blockCount, second.blockCount);
+    ASSERT_EQ(first.gates.size(), second.gates.size());
+    for (size_t i = 0; i < first.gates.size(); ++i) {
+        // Identical gates modulo the qubit relabeling.
+        EXPECT_EQ(first.gates[i].op, second.gates[i].op);
+        EXPECT_EQ(first.gates[i].params, second.gates[i].params);
+        for (size_t q = 0; q < first.gates[i].qubits.size(); ++q) {
+            const auto it =
+                std::find(qubits_a.begin(), qubits_a.end(),
+                          first.gates[i].qubits[q]);
+            ASSERT_NE(it, qubits_a.end());
+            EXPECT_EQ(second.gates[i].qubits[q],
+                      qubits_b[it - qubits_a.begin()]);
+        }
+    }
+}
+
+TEST(SynthCache, DifferentOptionsDoNotShareEntries)
+{
+    Rng rng(13);
+    const Matrix target = randomUnitary(8, rng);
+    service::SynthCache cache;
+
+    synth::SynthesisOptions a;
+    a.descending = true;
+    a.memo = &cache;
+    synth::SynthesisOptions b = a;
+    b.seed = a.seed + 1;  // a different search -> a different key
+
+    (void)synth::synthesizeBlock(target, {0, 1, 2}, a);
+    (void)synth::synthesizeBlock(target, {0, 1, 2}, b);
+    EXPECT_EQ(cache.stats().hits, 0);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SynthCache, GlobalPhaseDoesNotSplitClasses)
+{
+    Rng rng(17);
+    const Matrix target = randomUnitary(8, rng);
+    Matrix phased = target;
+    const Complex w = std::polar(1.0, 0.9);
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+            phased(i, j) = phased(i, j) * w;
+
+    service::SynthCache cache;
+    synth::SynthesisOptions opts;
+    opts.descending = true;
+    opts.memo = &cache;
+    (void)synth::synthesizeBlock(target, {0, 1, 2}, opts);
+    (void)synth::synthesizeBlock(phased, {0, 1, 2}, opts);
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SynthCache, EvictsLeastRecentlyUsed)
+{
+    service::SynthCache cache(2);
+    synth::SynthesisOptions opts;
+    synth::SynthesisResult dummy;  // failure entry: no verification
+    Rng rng(19);
+    const Matrix a = randomUnitary(8, rng);
+    const Matrix b = randomUnitary(8, rng);
+    const Matrix c = randomUnitary(8, rng);
+    cache.store(a, opts, dummy, 0.1);
+    cache.store(b, opts, dummy, 0.1);
+    // Touch `a` so `b` is the LRU victim.
+    synth::SynthesisResult out;
+    EXPECT_TRUE(cache.lookup(a, opts, out));
+    cache.store(c, opts, dummy, 0.1);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1);
+    EXPECT_TRUE(cache.lookup(a, opts, out));
+    EXPECT_TRUE(cache.lookup(c, opts, out));
+    EXPECT_FALSE(cache.lookup(b, opts, out));
+}
+
+// ---- PulseCache --------------------------------------------------------
+
+TEST(PulseCache, ToleranceBucketedLookup)
+{
+    service::PulseCache cache(uarch::Coupling::xy(1.0), 1e-6);
+    uarch::GateScheme scheme(uarch::Coupling::xy(1.0));
+    const weyl::WeylCoord cnot = weyl::WeylCoord::cnot();
+    cache.store(cnot, scheme.solveCoord(cnot), 0.01);
+
+    // Within tolerance (including across a bucket boundary): hit.
+    uarch::PulseSolution sol;
+    weyl::WeylCoord nearby = cnot;
+    nearby.y += 0.9e-6;
+    EXPECT_TRUE(cache.lookup(nearby, sol));
+    EXPECT_TRUE(sol.converged);
+    // Outside tolerance: miss.
+    weyl::WeylCoord far = cnot;
+    far.y += 5e-6;
+    EXPECT_FALSE(cache.lookup(far, sol));
+    EXPECT_EQ(cache.stats().hits, 1);
+    EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(PulseCache, NeverServesUnconvergedSolutions)
+{
+    service::PulseCache cache(uarch::Coupling::xy(1.0), 1e-6);
+    uarch::PulseSolution bad;
+    bad.converged = false;
+    const weyl::WeylCoord c = weyl::WeylCoord::iswap();
+    cache.store(c, bad, 0.01);
+    EXPECT_EQ(cache.size(), 0u);
+    uarch::PulseSolution out;
+    EXPECT_FALSE(cache.lookup(c, out));
+}
+
+TEST(PulseCache, SharedAcrossCalibrationPlans)
+{
+    Circuit c(3);
+    c.add(Gate::cx(0, 1));
+    c.add(Gate::cz(1, 2));
+    c.add(Gate::swap(0, 1));
+
+    service::PulseCache cache(uarch::Coupling::xy(1.0), 1e-6);
+    uarch::CalibrationPlan p1 = uarch::planCalibration(
+        c, uarch::Coupling::xy(1.0), 1e-6, &cache);
+    EXPECT_EQ(p1.distinctGates(), 2);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(cache.stats().hits, 0);
+
+    // A second circuit with the same classes: all pulse solves hit.
+    uarch::CalibrationPlan p2 = uarch::planCalibration(
+        c, uarch::Coupling::xy(1.0), 1e-6, &cache);
+    EXPECT_EQ(p2.distinctGates(), 2);
+    EXPECT_EQ(cache.stats().misses, 2);
+    EXPECT_EQ(cache.stats().hits, 2);
+    ASSERT_EQ(p1.entries.size(), p2.entries.size());
+    for (size_t i = 0; i < p1.entries.size(); ++i) {
+        EXPECT_EQ(p1.entries[i].uses, p2.entries[i].uses);
+        EXPECT_EQ(p1.entries[i].pulse.tau, p2.entries[i].pulse.tau);
+    }
+}
+
+// ---- CompileService ----------------------------------------------------
+
+TEST(CompileService, CachedResultsMatchStandaloneCompilation)
+{
+    // The whole caching contract in one assertion: a service with
+    // warm caches must produce byte-for-byte what a standalone
+    // (cache-free) reqiscFull produces.
+    const auto bms = suite::smallSuite();
+    service::ServiceOptions sopts;
+    sopts.threads = 2;
+    service::CompileService svc(sopts);
+    std::vector<service::CompileRequest> batch;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (size_t i = 0; i < 4; ++i) {
+            service::CompileRequest req;
+            req.name = bms[i].name;
+            req.input = bms[i].circuit;
+            batch.push_back(std::move(req));
+        }
+    }
+    svc.submitBatch(std::move(batch));
+    auto results = svc.waitAll();
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto &r : results) {
+        ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+        const auto &bm =
+            *std::find_if(bms.begin(), bms.end(),
+                          [&](const suite::Benchmark &b) {
+                              return b.name == r.name;
+                          });
+        compiler::CompileResult direct =
+            compiler::reqiscFull(bm.circuit);
+        EXPECT_EQ(circuit::toQasm(r.compiled.circuit),
+                  circuit::toQasm(direct.circuit))
+            << r.name;
+        EXPECT_EQ(r.compiled.finalPermutation,
+                  direct.finalPermutation)
+            << r.name;
+    }
+    // The second repetition of each circuit hit the warm caches.
+    EXPECT_GT(svc.synthCacheStats().hits +
+                  svc.pulseCacheStats().hits,
+              0);
+}
+
+TEST(CompileService, DeterministicAcrossThreadCounts)
+{
+    // The issue's acceptance test: the same 20-circuit batch with
+    // --jobs 1 and --jobs 8 produces identical gate streams, metrics
+    // and final permutations.
+    std::vector<std::string> flat1, flat8;
+    std::vector<std::int64_t> consults1, consults8;
+    for (int jobs : {1, 8}) {
+        service::ServiceOptions sopts;
+        sopts.threads = jobs;
+        service::CompileService svc(sopts);
+        svc.submitBatch(twentyCircuitBatch());
+        auto results = svc.waitAll();
+        ASSERT_EQ(results.size(), 20u);
+        auto &flat = jobs == 1 ? flat1 : flat8;
+        auto &consults = jobs == 1 ? consults1 : consults8;
+        for (const auto &r : results) {
+            ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+            flat.push_back(flatten(r));
+            consults.push_back(r.metrics.synthCache.hits +
+                               r.metrics.synthCache.misses);
+        }
+    }
+    ASSERT_EQ(flat1.size(), flat8.size());
+    for (size_t i = 0; i < flat1.size(); ++i)
+        EXPECT_EQ(flat1[i], flat8[i]) << "job " << i;
+    // Cache hit/miss *attribution* may differ between schedules; the
+    // number of memo consultations a given job makes may not.
+    EXPECT_EQ(consults1, consults8);
+}
+
+TEST(CompileService, QasmJobsCompileAndParseErrorsAreCaptured)
+{
+    service::ServiceOptions sopts;
+    sopts.threads = 2;
+    service::CompileService svc(sopts);
+
+    service::CompileRequest good;
+    good.name = "ghz3";
+    good.qasm = "qreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+    service::CompileRequest bad;
+    bad.name = "broken";
+    bad.qasm = "qreg q[2];\nfrobnicate q[0];\n";
+
+    const auto good_id = svc.submit(std::move(good));
+    const auto bad_id = svc.submit(std::move(bad));
+
+    service::JobResult bad_res = svc.wait(bad_id);
+    EXPECT_FALSE(bad_res.ok);
+    EXPECT_NE(bad_res.error.find("unknown op"), std::string::npos)
+        << bad_res.error;
+
+    service::JobResult good_res = svc.wait(good_id);
+    ASSERT_TRUE(good_res.ok) << good_res.error;
+    EXPECT_GT(good_res.metrics.count2Q, 0);
+
+    // Semantics of the QASM path: compiled circuit matches input.
+    Circuit input = circuit::fromQasm(
+        "qreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n");
+    const Matrix ref =
+        qsim::buildUnitary(circuit::lowerToCnot(input));
+    const Matrix got = qsim::buildUnitaryWithPermutation(
+        good_res.compiled.circuit,
+        good_res.compiled.finalPermutation);
+    EXPECT_LT(qmath::traceInfidelity(ref, got), 1e-6);
+}
+
+TEST(CompileService, WaitSemantics)
+{
+    service::CompileService svc;
+    EXPECT_THROW(svc.wait(1), std::invalid_argument);  // never issued
+
+    service::CompileRequest req;
+    req.name = "tiny";
+    req.input = Circuit(2);
+    req.input.add(Gate::cx(0, 1));
+    const auto id = svc.submit(std::move(req));
+    service::JobResult r = svc.wait(id);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.id, id);
+    EXPECT_EQ(r.name, "tiny");
+    // A result can only be taken once.
+    EXPECT_THROW(svc.wait(id), std::invalid_argument);
+    // waitAll after everything was taken: empty, not blocking.
+    EXPECT_TRUE(svc.waitAll().empty());
+}
+
+TEST(CompileService, DisabledCachesStillCompile)
+{
+    service::ServiceOptions sopts;
+    sopts.threads = 2;
+    sopts.enableSynthCache = false;
+    sopts.enablePulseCache = false;
+    service::CompileService svc(sopts);
+    service::CompileRequest req;
+    req.name = "qft";
+    req.input = suite::smallSuite()[5].circuit;
+    const auto id = svc.submit(std::move(req));
+    service::JobResult r = svc.wait(id);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(svc.synthCacheStats().hits +
+                  svc.synthCacheStats().misses,
+              0);
+    EXPECT_EQ(svc.synthCacheSize(), 0u);
+    EXPECT_TRUE(svc.synthCachePerClass().empty());
+}
