@@ -16,6 +16,7 @@
 #include "uarch/duration.hh"
 #include "compiler/metrics.hh"
 #include "compiler/pipeline.hh"
+#include "isa/fidelity.hh"
 #include "qsim/density.hh"
 #include "qsim/statevector.hh"
 #include "route/sabre.hh"
@@ -100,8 +101,11 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
-    const double p0 = 0.001;
-    const double tau0 = uarch::conventionalCnotDuration(1.0);
+    // The repo-wide noise defaults (p0 at the conventional CNOT
+    // pulse) live in isa::NoiseModel; don't re-declare them here.
+    const isa::NoiseModel noise;
+    const double p0 = noise.p0;
+    const double tau0 = noise.tau0;
     auto conv = compiler::conventionalDurationModel(1.0);
     auto rq = compiler::reqiscDurationModel(uarch::Coupling::xy(1.0));
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Schedule-quality harness (beyond the paper's figures): for every
+ * program of the built-in suite, compile with ReQISC-Eff, lower into
+ * timed RQISA programs under serial / ASAP / ALAP scheduling, and
+ * report makespan, parallelism, in-window idle time, and the
+ * timeline-aware fidelity estimate — the "performance attainable on
+ * hardware" at the program level, where the schedule (not just the
+ * gate count) decides fidelity.
+ *
+ * Fidelity columns use the analytic product proxy
+ * (isa::analyticFidelity) with the repo-default gate noise and
+ * T1 = 2000, T2 = 1000 (1/g units); programs small enough for exact
+ * density-matrix evaluation also get a Hellinger-fidelity column
+ * (serial vs ASAP against the ideal distribution).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "compiler/pipeline.hh"
+#include "isa/assembly.hh"
+#include "isa/fidelity.hh"
+#include "isa/schedule.hh"
+#include "qsim/statevector.hh"
+#include "suite/suite.hh"
+
+using namespace reqisc;
+using namespace reqisc::benchtool;
+
+namespace
+{
+
+/** Exact-simulation cutoff: density matrices are 4^n complex. */
+constexpr int kExactQubitLimit = 6;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    const auto suite =
+        opt.full ? suite::mediumSuite() : suite::smallSuite();
+
+    isa::NoiseModel noise;  // repo-default p0 / tau0
+    noise.t1 = 2000.0;
+    noise.t2 = 1000.0;
+
+    Table table("Schedule quality: serial vs ASAP vs ALAP "
+                "(durations in 1/g units)",
+                {"Benchmark", "n", "instr", "T serial", "T asap",
+                 "T alap", "speedup", "par", "idle", "F serial",
+                 "F asap", "F alap"});
+    Table exact("Exact timeline fidelity (density-matrix, n <= " +
+                    std::to_string(kExactQubitLimit) + ")",
+                {"Benchmark", "F serial", "F asap", "err. red."});
+
+    for (const auto &bm : suite) {
+        const compiler::CompileResult compiled =
+            compiler::reqiscEff(bm.circuit);
+
+        isa::ScheduleOptions sopts;
+        sopts.strategy = isa::Strategy::Serial;
+        const isa::Program serial =
+            isa::schedule(compiled.circuit, sopts);
+        sopts.strategy = isa::Strategy::Asap;
+        const isa::Program asap =
+            isa::schedule(compiled.circuit, sopts);
+        sopts.strategy = isa::Strategy::Alap;
+        const isa::Program alap =
+            isa::schedule(compiled.circuit, sopts);
+
+        const auto stats = asap.stats();
+        table.addRow({bm.name,
+                      std::to_string(bm.circuit.numQubits()),
+                      std::to_string(asap.size()),
+                      fmt(serial.makespan()), fmt(asap.makespan()),
+                      fmt(alap.makespan()),
+                      fmt(serial.makespan() / asap.makespan(), 2),
+                      fmt(stats.parallelism, 2),
+                      fmt(stats.idleTime),
+                      fmt(isa::analyticFidelity(serial, noise), 4),
+                      fmt(isa::analyticFidelity(asap, noise), 4),
+                      fmt(isa::analyticFidelity(alap, noise), 4)});
+
+        if (compiled.circuit.numQubits() <= kExactQubitLimit) {
+            isa::NoiseModel off;
+            off.p0 = 0.0;  // ideal reference: no gate or idle noise
+            const auto ideal = isa::simulateTimed(serial, off);
+            const double fs = qsim::hellingerFidelity(
+                ideal, isa::simulateTimed(serial, noise));
+            const double fa = qsim::hellingerFidelity(
+                ideal, isa::simulateTimed(asap, noise));
+            exact.addRow({bm.name, fmt(fs, 4), fmt(fa, 4),
+                          fmt((1.0 - fs) / (1.0 - fa), 2)});
+        }
+    }
+
+    table.print(opt.csv);
+    std::printf("\n");
+    exact.print(opt.csv);
+    return 0;
+}

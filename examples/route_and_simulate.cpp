@@ -15,6 +15,7 @@
 #include "uarch/duration.hh"
 #include "compiler/metrics.hh"
 #include "compiler/pipeline.hh"
+#include "isa/fidelity.hh"
 #include "qsim/density.hh"
 #include "qsim/statevector.hh"
 #include "route/sabre.hh"
@@ -73,8 +74,11 @@ main()
     // Noise model: depolarizing p = p0 * tau / tau0 per 2Q gate.
     auto conv = compiler::conventionalDurationModel(1.0);
     auto rq = compiler::reqiscDurationModel(uarch::Coupling::xy(1.0));
-    const double p0 = 0.001;
-    const double tau0 = uarch::conventionalCnotDuration(1.0);
+    // Repo-wide noise defaults (isa::NoiseModel) instead of ad hoc
+    // copies of p0 / tau0.
+    const isa::NoiseModel noise;
+    const double p0 = noise.p0;
+    const double tau0 = noise.tau0;
     auto noisy_base = qsim::simulateNoisy(base_phys, conv, p0, tau0);
     auto noisy_rq = qsim::simulateNoisy(rq_phys, rq, p0, tau0);
 

@@ -1,6 +1,7 @@
 #include "circuit/gate.hh"
 
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "qmath/expm.hh"
@@ -48,6 +49,25 @@ opName(Op op)
       case Op::MCX: return "mcx";
     }
     return "?";
+}
+
+bool
+opFromName(const std::string &name, Op &out)
+{
+    static const std::map<std::string, Op> table = [] {
+        std::map<std::string, Op> t;
+        for (int i = 0; i <= static_cast<int>(Op::MCX); ++i) {
+            const Op op = static_cast<Op>(i);
+            if (op != Op::U4)
+                t.emplace(opName(op), op);
+        }
+        return t;
+    }();
+    const auto it = table.find(name);
+    if (it == table.end())
+        return false;
+    out = it->second;
+    return true;
 }
 
 int

@@ -46,6 +46,13 @@ enum class Op
 /** @return a short lowercase mnemonic ("cx", "can", ...). */
 const char *opName(Op op);
 
+/**
+ * Reverse of opName for the textual formats (QASM, RQISA assembly):
+ * fills `out` and returns true for every named op except the opaque
+ * U4 (which carries a matrix payload and has no textual form).
+ */
+bool opFromName(const std::string &name, Op &out);
+
 /** @return the number of parameters the op expects. */
 int opParamCount(Op op);
 

@@ -1,7 +1,6 @@
 #include "circuit/qasm.hh"
 
 #include <cstdio>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,27 +12,48 @@ namespace reqisc::circuit
 namespace
 {
 
-/** Ops with a stable textual form (everything except U4). */
-const std::map<std::string, Op> &
-nameTable()
+std::string
+trimToken(const std::string &s)
 {
-    static const std::map<std::string, Op> table = {
-        {"id", Op::I}, {"x", Op::X}, {"y", Op::Y}, {"z", Op::Z},
-        {"h", Op::H}, {"s", Op::S}, {"sdg", Op::Sdg}, {"t", Op::T},
-        {"tdg", Op::Tdg}, {"sx", Op::SX}, {"rx", Op::RX},
-        {"ry", Op::RY}, {"rz", Op::RZ}, {"u3", Op::U3},
-        {"cx", Op::CX}, {"cy", Op::CY}, {"cz", Op::CZ},
-        {"swap", Op::SWAP}, {"iswap", Op::ISWAP},
-        {"sqisw", Op::SQISW}, {"b", Op::B}, {"cp", Op::CP},
-        {"rzz", Op::RZZ}, {"rxx", Op::RXX}, {"ryy", Op::RYY},
-        {"can", Op::CAN}, {"ccx", Op::CCX}, {"ccz", Op::CCZ},
-        {"cswap", Op::CSWAP}, {"peres", Op::PERES},
-        {"mcx", Op::MCX},
-    };
-    return table;
+    const size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
 }
 
 } // namespace
+
+bool
+parseTokenInt(const std::string &tok, int &out)
+{
+    const std::string t = trimToken(tok);
+    if (t.empty())
+        return false;
+    try {
+        size_t used = 0;
+        out = std::stoi(t, &used);
+        return used == t.size();
+    } catch (const std::logic_error &) {
+        return false;
+    }
+}
+
+bool
+parseTokenDouble(const std::string &tok, double &out)
+{
+    const std::string t = trimToken(tok);
+    if (t.empty())
+        return false;
+    try {
+        size_t used = 0;
+        out = std::stod(t, &used);
+        return used == t.size();
+    } catch (const std::logic_error &) {
+        return false;
+    }
+}
+
 
 std::string
 toQasm(const Circuit &input)
@@ -76,6 +96,20 @@ fromQasm(const std::string &text)
         throw std::runtime_error("qasm parse error at line " +
                                  std::to_string(lineno) + ": " + msg);
     };
+    // Strict-token wrappers so malformed numbers surface as clean
+    // parse errors with a line number instead of bare exceptions.
+    auto parseInt = [&](const std::string &tok) {
+        int v = 0;
+        if (!parseTokenInt(tok, v))
+            fail("bad integer '" + tok + "'");
+        return v;
+    };
+    auto parseDouble = [&](const std::string &tok) {
+        double v = 0.0;
+        if (!parseTokenDouble(tok, v))
+            fail("bad number '" + tok + "'");
+        return v;
+    };
     while (std::getline(is, line)) {
         ++lineno;
         // Strip comments and whitespace.
@@ -95,9 +129,14 @@ fromQasm(const std::string &text)
         if (line.rfind("qreg", 0) == 0) {
             const size_t lb = line.find('[');
             const size_t rb = line.find(']');
-            if (lb == std::string::npos || rb == std::string::npos)
+            if (lb == std::string::npos || rb == std::string::npos ||
+                rb < lb)
                 fail("malformed qreg");
-            c = Circuit(std::stoi(line.substr(lb + 1, rb - lb - 1)));
+            const int n =
+                parseInt(line.substr(lb + 1, rb - lb - 1));
+            if (n <= 0)
+                fail("qreg size must be positive");
+            c = Circuit(n);
             continue;
         }
         // "<name>(p,..)? q[i],q[j],..."
@@ -105,11 +144,9 @@ fromQasm(const std::string &text)
         if (sp == std::string::npos)
             fail("malformed gate line");
         const std::string name = line.substr(0, sp);
-        auto it = nameTable().find(name);
-        if (it == nameTable().end())
-            fail("unknown op '" + name + "'");
         Gate g;
-        g.op = it->second;
+        if (!opFromName(name, g.op))
+            fail("unknown op '" + name + "'");
         size_t cursor = sp;
         if (line[sp] == '(') {
             const size_t close = line.find(')', sp);
@@ -119,7 +156,7 @@ fromQasm(const std::string &text)
             std::istringstream ps(params);
             std::string tok;
             while (std::getline(ps, tok, ','))
-                g.params.push_back(std::stod(tok));
+                g.params.push_back(parseDouble(tok));
             cursor = close + 1;
         }
         // Qubit operands.
@@ -130,19 +167,29 @@ fromQasm(const std::string &text)
             if (rb == std::string::npos)
                 fail("unterminated qubit operand");
             g.qubits.push_back(
-                std::stoi(rest.substr(pos + 2, rb - pos - 2)));
+                parseInt(rest.substr(pos + 2, rb - pos - 2)));
             pos = rb + 1;
         }
         if (g.qubits.empty())
             fail("gate with no qubits");
+        if (c.numQubits() == 0)
+            fail("gate before qreg declaration");
+        for (int q : g.qubits)
+            if (q < 0 || q >= c.numQubits())
+                fail("qubit index q[" + std::to_string(q) +
+                     "] out of range for qreg of size " +
+                     std::to_string(c.numQubits()));
+        for (size_t a = 0; a < g.qubits.size(); ++a)
+            for (size_t b = a + 1; b < g.qubits.size(); ++b)
+                if (g.qubits[a] == g.qubits[b])
+                    fail("duplicate qubit operand q[" +
+                         std::to_string(g.qubits[a]) + "]");
         if (g.op != Op::MCX &&
             opParamCount(g.op) !=
                 static_cast<int>(g.params.size()) &&
             !(g.op == Op::CAN && g.params.size() == 3) &&
             !(g.op == Op::U3 && g.params.size() == 3))
             fail("wrong parameter count for '" + name + "'");
-        if (c.numQubits() == 0)
-            fail("gate before qreg declaration");
         c.add(std::move(g));
     }
     return c;

@@ -29,6 +29,15 @@ std::string toQasm(const Circuit &c);
  */
 Circuit fromQasm(const std::string &text);
 
+/**
+ * Strict numeric-token parsers shared by the textual formats (QASM
+ * here, RQISA assembly in isa/): surrounding whitespace is trimmed,
+ * then the whole token must parse — trailing garbage, overflow and
+ * empty tokens all return false instead of throwing.
+ */
+bool parseTokenInt(const std::string &tok, int &out);
+bool parseTokenDouble(const std::string &tok, double &out);
+
 } // namespace reqisc::circuit
 
 #endif // REQISC_CIRCUIT_QASM_HH

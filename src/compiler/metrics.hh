@@ -47,6 +47,30 @@ struct CacheCounters
     }
 };
 
+/**
+ * Timed-schedule report, filled by the isa layer when a compiled
+ * circuit was lowered into an executable RQISA program (all-zero with
+ * `scheduled == false` otherwise). Times are in 1/g units under the
+ * program's isa::DurationModel — unlike `Metrics::duration`, the
+ * makespan includes one-qubit gate (and, when requested, measurement)
+ * durations, because the program is what the hardware executes.
+ */
+struct ScheduleStats
+{
+    bool scheduled = false;
+    double makespan = 0.0;        //!< end of the last instruction
+    double serialDuration = 0.0;  //!< sum of instruction durations
+    /** serialDuration / makespan: average instructions in flight. */
+    double parallelism = 0.0;
+    /**
+     * Total idle time summed over qubits, counting only gaps between
+     * a qubit's first and last instruction (decoherence-relevant
+     * windows; qubits parked in |0> before first use don't count).
+     */
+    double idleTime = 0.0;
+    int instructions = 0;
+};
+
 /** Circuit-level evaluation metrics. */
 struct Metrics
 {
@@ -56,6 +80,7 @@ struct Metrics
     int distinctSU4 = 0;     //!< calibration-overhead proxy
     CacheCounters synthCache;  //!< block-resynthesis memo activity
     CacheCounters pulseCache;  //!< pulse-solve memo activity
+    ScheduleStats schedule;    //!< filled when the job was scheduled
 };
 
 /**

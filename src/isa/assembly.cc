@@ -1,0 +1,193 @@
+#include "isa/assembly.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/qasm.hh"  // shared strict numeric-token parsers
+
+namespace reqisc::isa
+{
+
+namespace
+{
+
+constexpr char kHeader[] = "RQISA 1.0;";
+constexpr char kMeasureMnemonic[] = "meas";
+
+/** Thrown with the offending line number attached. */
+[[noreturn]] void
+fail(int lineno, const std::string &msg)
+{
+    throw std::runtime_error("rqisa parse error at line " +
+                             std::to_string(lineno) + ": " + msg);
+}
+
+double
+parseDouble(const std::string &tok, int lineno)
+{
+    double v = 0.0;
+    if (!circuit::parseTokenDouble(tok, v))
+        fail(lineno, "bad number '" + tok + "'");
+    return v;
+}
+
+int
+parseInt(const std::string &tok, int lineno)
+{
+    int v = 0;
+    if (!circuit::parseTokenInt(tok, v))
+        fail(lineno, "bad integer '" + tok + "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+toAssembly(const Program &p)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << kHeader << "\n";
+    os << "qubits " << p.numQubits() << ";\n";
+    for (const Instruction &i : p.instructions()) {
+        os << "@" << i.start << " ";
+        if (i.kind == Instruction::Kind::Measure) {
+            os << kMeasureMnemonic;
+        } else {
+            // Opaque matrix payloads have no textual form; a 'u4'
+            // line could never round-trip, so refuse loudly.
+            if (i.gate.op == circuit::Op::U4)
+                throw std::invalid_argument(
+                    "isa::toAssembly: opaque u4 block has no RQISA "
+                    "form; expand to {Can, U3} "
+                    "(circuit::expandToCanU3) before scheduling");
+            os << circuit::opName(i.gate.op);
+            if (!i.gate.params.empty()) {
+                os << "(";
+                for (size_t k = 0; k < i.gate.params.size(); ++k)
+                    os << (k ? "," : "") << i.gate.params[k];
+                os << ")";
+            }
+        }
+        os << " ";
+        for (size_t k = 0; k < i.qubits().size(); ++k)
+            os << (k ? "," : "") << "q[" << i.qubits()[k] << "]";
+        os << " dur " << i.duration << ";\n";
+    }
+    return os.str();
+}
+
+Program
+fromAssembly(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    bool saw_header = false;
+    bool saw_qubits = false;
+    Program p;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const size_t comment = line.find('#');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        const size_t begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos)
+            continue;
+        const size_t end = line.find_last_not_of(" \t\r");
+        line = line.substr(begin, end - begin + 1);
+
+        if (!saw_header) {
+            if (line != kHeader)
+                fail(lineno, "expected '" + std::string(kHeader) +
+                                 "' header");
+            saw_header = true;
+            continue;
+        }
+        if (line.back() != ';')
+            fail(lineno, "missing ';'");
+        line.pop_back();
+        if (!saw_qubits) {
+            std::istringstream ls(line);
+            std::string kw, count;
+            ls >> kw >> count;
+            if (kw != "qubits" || count.empty())
+                fail(lineno, "expected 'qubits N;'");
+            const int n = parseInt(count, lineno);
+            if (n <= 0)
+                fail(lineno, "qubit count must be positive");
+            p = Program(n);
+            saw_qubits = true;
+            continue;
+        }
+        if (line.empty() || line[0] != '@')
+            fail(lineno, "instruction must start with '@'");
+        const size_t sp0 = line.find(' ');
+        if (sp0 == std::string::npos)
+            fail(lineno, "missing mnemonic");
+        Instruction instr;
+        instr.start = parseDouble(line.substr(1, sp0 - 1), lineno);
+
+        size_t cursor = sp0 + 1;
+        const size_t mn_end = line.find_first_of(" (", cursor);
+        if (mn_end == std::string::npos)
+            fail(lineno, "missing operands");
+        const std::string mnemonic =
+            line.substr(cursor, mn_end - cursor);
+        if (mnemonic == kMeasureMnemonic) {
+            instr.kind = Instruction::Kind::Measure;
+            instr.gate.op = circuit::Op::I;
+        } else if (!circuit::opFromName(mnemonic, instr.gate.op)) {
+            fail(lineno, "unknown mnemonic '" + mnemonic + "'");
+        }
+        cursor = mn_end;
+        if (line[cursor] == '(') {
+            if (instr.kind == Instruction::Kind::Measure)
+                fail(lineno, "meas takes no parameters");
+            const size_t close = line.find(')', cursor);
+            if (close == std::string::npos)
+                fail(lineno, "unterminated parameter list");
+            std::istringstream ps(
+                line.substr(cursor + 1, close - cursor - 1));
+            std::string tok;
+            while (std::getline(ps, tok, ','))
+                instr.gate.params.push_back(parseDouble(tok, lineno));
+            cursor = close + 1;
+        }
+        const size_t dur_kw = line.find(" dur ", cursor);
+        if (dur_kw == std::string::npos)
+            fail(lineno, "missing 'dur' field");
+        std::string operands = line.substr(cursor, dur_kw - cursor);
+        size_t pos = 0;
+        while ((pos = operands.find("q[", pos)) !=
+               std::string::npos) {
+            const size_t rb = operands.find(']', pos);
+            if (rb == std::string::npos)
+                fail(lineno, "unterminated qubit operand");
+            instr.gate.qubits.push_back(parseInt(
+                operands.substr(pos + 2, rb - pos - 2), lineno));
+            pos = rb + 1;
+        }
+        if (instr.gate.qubits.empty())
+            fail(lineno, "instruction with no qubits");
+        instr.duration = parseDouble(line.substr(dur_kw + 5), lineno);
+        if (instr.kind == Instruction::Kind::Gate &&
+            circuit::opParamCount(instr.gate.op) !=
+                static_cast<int>(instr.gate.params.size()) &&
+            instr.gate.op != circuit::Op::MCX)
+            fail(lineno, "wrong parameter count for '" + mnemonic +
+                             "'");
+        p.add(std::move(instr));
+    }
+    if (!saw_header)
+        fail(lineno ? lineno : 1, "empty input (no RQISA header)");
+    if (!saw_qubits)
+        fail(lineno ? lineno : 1, "missing 'qubits N;' declaration");
+    const std::vector<std::string> errs = p.validate();
+    if (!errs.empty())
+        throw std::runtime_error("rqisa invalid program: " +
+                                 errs.front());
+    return p;
+}
+
+} // namespace reqisc::isa

@@ -1,0 +1,24 @@
+#include "isa/duration_model.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "uarch/duration.hh"
+
+namespace reqisc::isa
+{
+
+double
+DurationModel::gate(const circuit::Gate &g) const
+{
+    if (g.is1Q())
+        return oneQubit;
+    if (g.is2Q())
+        return uarch::optimalDuration(coupling, g.weylCoord());
+    throw std::invalid_argument(
+        std::string("DurationModel: cannot time ") +
+        std::to_string(g.numQubits()) + "-qubit gate '" +
+        circuit::opName(g.op) + "'; lower to <= 2-qubit gates first");
+}
+
+} // namespace reqisc::isa

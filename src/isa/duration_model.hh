@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The hardware duration model of the RQISA program layer.
+ *
+ * One struct owns every per-instruction duration the scheduler and
+ * the timeline-aware noise model consume: two-qubit gates cost their
+ * genAshN time-optimal duration on the target coupling
+ * (uarch::durationInfo), one-qubit gates and measurements cost the
+ * configurable flat defaults below. All durations are in 1/g units
+ * (g = canonical coupling strength), the convention of
+ * uarch/duration.hh, so the conventional CNOT pulse is
+ * pi/sqrt(2) ~ 2.221.
+ *
+ * The defaults are the single source of truth for these constants —
+ * bench harnesses, tests and examples must use them instead of
+ * re-declaring ad hoc copies.
+ */
+
+#ifndef REQISC_ISA_DURATION_MODEL_HH
+#define REQISC_ISA_DURATION_MODEL_HH
+
+#include "circuit/gate.hh"
+#include "uarch/coupling.hh"
+
+namespace reqisc::isa
+{
+
+/**
+ * Default one-qubit gate duration in 1/g units: ~1/9 of the
+ * conventional CNOT pulse, matching the typical 25 ns single-qubit
+ * vs 200 ns two-qubit ratio on transmon hardware.
+ */
+inline constexpr double kDefaultOneQubitDuration = 0.25;
+
+/**
+ * Default measurement (readout) duration in 1/g units: a few times
+ * the two-qubit pulse, matching ~1 us readout vs ~200 ns gates.
+ */
+inline constexpr double kDefaultMeasurementDuration = 10.0;
+
+/** Per-instruction durations for one target device. */
+struct DurationModel
+{
+    uarch::Coupling coupling = uarch::Coupling::xy(1.0);
+    double oneQubit = kDefaultOneQubitDuration;
+    double measurement = kDefaultMeasurementDuration;
+
+    /**
+     * Duration of a gate: `oneQubit` for 1Q gates, the genAshN
+     * optimal duration of its Weyl coordinate for 2Q gates. Throws
+     * std::invalid_argument for gates on three or more qubits (the
+     * scheduler consumes compiled {Can, U3} circuits; lower
+     * high-level IR first).
+     */
+    double gate(const circuit::Gate &g) const;
+};
+
+} // namespace reqisc::isa
+
+#endif // REQISC_ISA_DURATION_MODEL_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The timed RQISA intermediate representation: an executable program
+ * is a list of instructions `{op, qubits, start, duration}` over a
+ * fixed qubit register, i.e. per-qubit timelines instead of an
+ * ordered gate list. This is the layer where the compiler's output
+ * stops being a circuit and becomes something a control stack could
+ * run (the eQASM/Quil gap the paper's "attainable on hardware"
+ * framing points at).
+ *
+ * Invariants (checked by validate(), enforced on assembly ingest):
+ *  - qubit exclusivity: two instructions sharing a qubit never
+ *    overlap in time,
+ *  - starts and durations are finite and non-negative,
+ *  - qubit operands are in range and distinct per instruction,
+ *  - with a topology, every 2Q instruction acts on a connected pair.
+ *
+ * Times are in 1/g units (isa/duration_model.hh). Instruction order
+ * in the container is the program's canonical order (schedulers emit
+ * sorted by (start, appearance)); the assembly round-trip preserves
+ * it byte-for-byte.
+ */
+
+#ifndef REQISC_ISA_PROGRAM_HH
+#define REQISC_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "compiler/metrics.hh"
+#include "route/topology.hh"
+
+namespace reqisc::isa
+{
+
+/** One timed instruction. */
+struct Instruction
+{
+    enum class Kind
+    {
+        Gate,     //!< a unitary gate (the wrapped circuit::Gate)
+        Measure,  //!< computational-basis readout of `qubits()`
+    };
+
+    Kind kind = Kind::Gate;
+    /**
+     * Gate payload. For Kind::Measure only `gate.qubits` is
+     * meaningful (the measured qubits); op/params are ignored.
+     */
+    circuit::Gate gate;
+    double start = 0.0;     //!< issue time, 1/g units
+    double duration = 0.0;  //!< execution time, 1/g units
+
+    double end() const { return start + duration; }
+    const std::vector<int> &qubits() const { return gate.qubits; }
+
+    static Instruction timedGate(circuit::Gate g, double start,
+                                 double duration);
+    static Instruction measure(int qubit, double start,
+                               double duration);
+};
+
+/** An executable timed program on a fixed register. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    size_t size() const { return instrs_.size(); }
+    bool empty() const { return instrs_.empty(); }
+
+    const std::vector<Instruction> &instructions() const
+    {
+        return instrs_;
+    }
+    const Instruction &operator[](size_t i) const
+    {
+        return instrs_[i];
+    }
+
+    /** Append an instruction (no ordering requirement). */
+    void add(Instruction instr);
+
+    /** Canonical order: stable sort by start time. */
+    void sortByStart();
+
+    /** End of the last instruction (0 for an empty program). */
+    double makespan() const;
+
+    /** Makespan / parallelism / idle-time report. */
+    compiler::ScheduleStats stats() const;
+
+    /**
+     * Check the program invariants listed in the file header; the
+     * returned messages are empty iff the program is valid. A
+     * non-null topology additionally checks 2Q connectivity.
+     */
+    std::vector<std::string>
+    validate(const route::Topology *topo = nullptr) const;
+
+    /**
+     * Re-ingest: the gate instructions in start order as an untimed
+     * circuit (measurements dropped), suitable for feeding back into
+     * the compiler or the simulators.
+     */
+    circuit::Circuit toCircuit() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<Instruction> instrs_;
+};
+
+} // namespace reqisc::isa
+
+#endif // REQISC_ISA_PROGRAM_HH

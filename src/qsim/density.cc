@@ -121,6 +121,45 @@ DensityMatrix::depolarize(const std::vector<int> &qubits, double p)
     }
 }
 
+void
+DensityMatrix::applyKraus(const std::vector<int> &qubits,
+                          const std::vector<Matrix> &kraus)
+{
+    const std::vector<Complex> original = rho_;
+    std::vector<Complex> acc(rho_.size(), Complex(0.0, 0.0));
+    for (const Matrix &k : kraus) {
+        rho_ = original;
+        applyMatrix(qubits, k);  // linear, so valid for non-unitary k
+        for (size_t i = 0; i < rho_.size(); ++i)
+            acc[i] += rho_[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::amplitudeDamp(int qubit, double gamma)
+{
+    if (gamma <= 0.0)
+        return;
+    Matrix k0(2, 2), k1(2, 2);
+    k0(0, 0) = 1.0;
+    k0(1, 1) = std::sqrt(1.0 - gamma);
+    k1(0, 1) = std::sqrt(gamma);
+    applyKraus({qubit}, {k0, k1});
+}
+
+void
+DensityMatrix::phaseDamp(int qubit, double lambda)
+{
+    if (lambda <= 0.0)
+        return;
+    Matrix k0(2, 2), k1(2, 2);
+    k0(0, 0) = 1.0;
+    k0(1, 1) = std::sqrt(1.0 - lambda);
+    k1(1, 1) = std::sqrt(lambda);
+    applyKraus({qubit}, {k0, k1});
+}
+
 std::vector<double>
 DensityMatrix::probabilities() const
 {

@@ -43,6 +43,26 @@ class DensityMatrix
      */
     void depolarize(const std::vector<int> &qubits, double p);
 
+    /**
+     * General channel rho -> sum_k K_k rho K_k^dagger on a qubit
+     * subset. The caller is responsible for trace preservation
+     * (sum K^dagger K = I).
+     */
+    void applyKraus(const std::vector<int> &qubits,
+                    const std::vector<Matrix> &kraus);
+
+    /**
+     * Amplitude damping (T1-style energy relaxation) on one qubit:
+     * |1> decays to |0> with probability gamma.
+     */
+    void amplitudeDamp(int qubit, double gamma);
+
+    /**
+     * Phase damping (T2-style dephasing) on one qubit: off-diagonal
+     * coherence is scaled by sqrt(1 - lambda).
+     */
+    void phaseDamp(int qubit, double lambda);
+
     /** Diagonal of rho: computational-basis probabilities. */
     std::vector<double> probabilities() const;
 

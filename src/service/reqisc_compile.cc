@@ -26,8 +26,14 @@
 #include <string>
 #include <vector>
 
+#include "isa/assembly.hh"
+#include "isa/schedule.hh"
 #include "service/service.hh"
 #include "suite/suite.hh"
+
+#ifndef REQISC_VERSION
+#define REQISC_VERSION "unknown"
+#endif
 
 namespace
 {
@@ -47,6 +53,9 @@ struct CliOptions
     bool calibrate = true;
     bool stats = false;
     bool json = false;
+    bool schedule = false;       //!< lower into timed RQISA programs
+    isa::Strategy strategy = isa::Strategy::Asap;
+    bool emitIsa = false;        //!< dump RQISA assembly (implies schedule)
 };
 
 void
@@ -65,8 +74,13 @@ printUsage(std::ostream &os)
           "  --variational         variational (fixed-basis) mode\n"
           "  --no-cache            disable the shared SU(4) caches\n"
           "  --no-calibrate        skip calibration planning\n"
+          "  --schedule STRATEGY   lower into a timed RQISA program "
+          "(serial|asap|alap)\n"
+          "  --emit-isa            print each program's RQISA "
+          "assembly (implies --schedule asap)\n"
           "  --stats               print cache statistics\n"
           "  --json                machine-readable output\n"
+          "  --version             print the version and exit\n"
           "  --help                this text\n";
 }
 
@@ -85,6 +99,9 @@ parseArgs(int argc, char **argv, CliOptions &cli)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::cout << "reqisc-compile " << REQISC_VERSION << "\n";
             std::exit(0);
         } else if (arg == "--pipeline") {
             const char *v = value(i);
@@ -130,6 +147,19 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             cli.noCache = true;
         } else if (arg == "--no-calibrate") {
             cli.calibrate = false;
+        } else if (arg == "--schedule") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            if (!isa::strategyFromName(v, cli.strategy)) {
+                std::cerr << "reqisc-compile: unknown schedule "
+                             "strategy '" << v << "'\n";
+                return false;
+            }
+            cli.schedule = true;
+        } else if (arg == "--emit-isa") {
+            cli.emitIsa = true;
+            cli.schedule = true;
         } else if (arg == "--stats") {
             cli.stats = true;
         } else if (arg == "--json") {
@@ -222,8 +252,10 @@ int
 main(int argc, char **argv)
 {
     CliOptions cli;
-    if (!parseArgs(argc, argv, cli))
+    if (!parseArgs(argc, argv, cli)) {
+        printUsage(std::cerr);
         return 2;
+    }
     if (cli.files.empty() && cli.suite.empty()) {
         printUsage(std::cerr);
         return 2;
@@ -262,6 +294,8 @@ main(int argc, char **argv)
         req.options.seed = cli.seed;
         req.options.variationalMode = cli.variational;
         req.calibrate = cli.calibrate;
+        req.schedule = cli.schedule;
+        req.scheduleOptions.strategy = cli.strategy;
     }
     if (cli.repeat > 1) {
         const std::vector<service::CompileRequest> once = batch;
@@ -313,6 +347,34 @@ main(int argc, char **argv)
                     << ", \"pulseCacheHitRate\": "
                     << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
                     << ", \"seconds\": " << fmtDouble(r.seconds, 4);
+                if (r.metrics.schedule.scheduled) {
+                    const auto &s = r.metrics.schedule;
+                    std::cout
+                        << ", \"schedule\": {\"strategy\": \""
+                        << isa::strategyName(cli.strategy)
+                        << "\", \"makespan\": "
+                        << fmtDouble(s.makespan, 4)
+                        << ", \"serialDuration\": "
+                        << fmtDouble(s.serialDuration, 4)
+                        << ", \"parallelism\": "
+                        << fmtDouble(s.parallelism, 4)
+                        << ", \"idleTime\": "
+                        << fmtDouble(s.idleTime, 4)
+                        << ", \"instructions\": " << s.instructions;
+                    if (cli.emitIsa) {
+                        try {
+                            std::cout << ", \"isa\": \""
+                                      << jsonEscape(isa::toAssembly(
+                                             r.program))
+                                      << "\"";
+                        } catch (const std::exception &e) {
+                            std::cout << ", \"isaError\": \""
+                                      << jsonEscape(e.what())
+                                      << "\"";
+                        }
+                    }
+                    std::cout << "}";
+                }
             } else {
                 std::cout << ", \"error\": \""
                           << jsonEscape(r.error) << "\"";
@@ -334,9 +396,12 @@ main(int argc, char **argv)
                   << ", \"entries\": " << svc.pulseCacheSize()
                   << "}\n}\n";
     } else {
-        std::printf("%-28s %6s %7s %9s %8s %7s %7s %8s\n", "circuit",
+        std::printf("%-28s %6s %7s %9s %8s %7s %7s %8s", "circuit",
                     "#2Q", "2Q-dep", "duration", "distSU4", "synth%",
                     "pulse%", "ms");
+        if (cli.schedule)
+            std::printf(" %9s %5s %8s", "makespan", "par", "idle");
+        std::printf("\n");
         for (const service::JobResult &r : results) {
             if (!r.ok) {
                 std::printf("%-28s ERROR: %s\n", r.name.c_str(),
@@ -344,13 +409,33 @@ main(int argc, char **argv)
                 continue;
             }
             std::printf(
-                "%-28s %6d %7d %9.3f %8d %6.1f%% %6.1f%% %8.1f\n",
+                "%-28s %6d %7d %9.3f %8d %6.1f%% %6.1f%% %8.1f",
                 r.name.c_str(), r.metrics.count2Q,
                 r.metrics.depth2Q, r.metrics.duration,
                 r.metrics.distinctSU4,
                 100.0 * r.metrics.synthCache.hitRate(),
                 100.0 * r.metrics.pulseCache.hitRate(),
                 1e3 * r.seconds);
+            if (r.metrics.schedule.scheduled)
+                std::printf(" %9.3f %5.2f %8.3f",
+                            r.metrics.schedule.makespan,
+                            r.metrics.schedule.parallelism,
+                            r.metrics.schedule.idleTime);
+            std::printf("\n");
+        }
+        if (cli.emitIsa) {
+            for (const service::JobResult &r : results) {
+                if (!r.ok)
+                    continue;
+                std::printf("\n# --- %s (%s) ---\n", r.name.c_str(),
+                            isa::strategyName(cli.strategy));
+                try {
+                    std::fputs(isa::toAssembly(r.program).c_str(),
+                               stdout);
+                } catch (const std::exception &e) {
+                    std::printf("# cannot emit: %s\n", e.what());
+                }
+            }
         }
         std::printf("\n%zu circuits, %d failed, %d jobs, %.3f s "
                     "(%.2f circuits/s)\n",

@@ -239,6 +239,12 @@ CompileService::runJob(const Job &job)
             compiler::reqiscDurationModel(opts_.coupling));
         if (synthCache_)
             res.metrics.synthCache = synthMemo.counters();
+        if (job.req.schedule) {
+            isa::ScheduleOptions sopts = job.req.scheduleOptions;
+            sopts.durations.coupling = opts_.coupling;
+            res.program = isa::schedule(compiled.circuit, sopts);
+            res.metrics.schedule = res.program.stats();
+        }
         if (job.req.calibrate) {
             CountingPulseMemo pulseMemo(pulseCache_.get());
             const uarch::CalibrationPlan plan =

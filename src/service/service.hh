@@ -43,6 +43,8 @@
 
 #include "compiler/metrics.hh"
 #include "compiler/pipeline.hh"
+#include "isa/program.hh"
+#include "isa/schedule.hh"
 #include "service/cache.hh"
 #include "uarch/calibration.hh"
 
@@ -81,6 +83,15 @@ struct CompileRequest
     compiler::CompileOptions options;
     /** Build the per-circuit calibration plan (shared pulse cache). */
     bool calibrate = true;
+    /**
+     * Lower the compiled circuit into a timed RQISA program
+     * (JobResult::program) and fill Metrics::schedule. The duration
+     * model's coupling is overridden with the service-wide
+     * ServiceOptions::coupling so timing, pulse solves and metrics
+     * all describe the same device.
+     */
+    bool schedule = false;
+    isa::ScheduleOptions scheduleOptions;
 };
 
 /** Outcome of one job; `ok == false` carries the captured error. */
@@ -92,6 +103,8 @@ struct JobResult
     std::string error;
     compiler::CompileResult compiled;
     compiler::Metrics metrics;       //!< incl. per-job cache counters
+    /** Timed program (empty unless CompileRequest::schedule). */
+    isa::Program program;
     /**
      * Calibration classes the solver could not reach. Like the cache
      * hit/miss split, this can follow the schedule in the corner case

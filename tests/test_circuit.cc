@@ -5,11 +5,14 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "circuit/dag.hh"
 #include "circuit/lower.hh"
+#include "circuit/qasm.hh"
 #include "qmath/random.hh"
 #include "qsim/density.hh"
 #include "qsim/statevector.hh"
@@ -369,4 +372,86 @@ TEST(Density, HellingerIdentity)
 {
     std::vector<double> p = {0.5, 0.25, 0.25, 0.0};
     EXPECT_NEAR(hellingerFidelity(p, p), 1.0, 1e-12);
+}
+
+// ---- QASM parser error paths ------------------------------------------
+
+namespace
+{
+
+/** Expect fromQasm to throw a runtime_error whose message contains
+ *  `needle` (all parser errors carry a line number + reason). */
+void
+expectQasmError(const std::string &text, const std::string &needle)
+{
+    try {
+        (void)circuit::fromQasm(text);
+        FAIL() << "no parse error for: " << text;
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("qasm parse error"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+
+TEST(Qasm, MalformedHeaderIsRejected)
+{
+    expectQasmError("qreg q2];\nh q[0];\n", "malformed qreg");
+    expectQasmError("qreg q];[;\nh q[0];\n", "malformed qreg");
+    expectQasmError("qreg q[two];\nh q[0];\n", "bad integer");
+    expectQasmError("qreg q[0];\n", "positive");
+    expectQasmError("qreg q[-3];\n", "positive");
+}
+
+TEST(Qasm, BadQubitIndexIsRejected)
+{
+    expectQasmError("qreg q[2];\ncx q[0],q[5];\n", "out of range");
+    expectQasmError("qreg q[2];\nh q[-1];\n", "out of range");
+    expectQasmError("qreg q[4];\ncx q[1],q[1];\n",
+                    "duplicate qubit operand");
+    expectQasmError("h q[0];\nqreg q[2];\n",
+                    "gate before qreg");
+}
+
+TEST(Qasm, UnterminatedGateIsRejected)
+{
+    expectQasmError("qreg q[2];\nh q[0]\n", "missing ';'");
+    expectQasmError("qreg q[2];\nrx(0.5 q[0];\n",
+                    "unterminated parameter list");
+    expectQasmError("qreg q[2];\ncx q[0],q[1;\n",
+                    "unterminated qubit operand");
+    expectQasmError("qreg q[2];\nrx(abc) q[0];\n", "bad number");
+    expectQasmError("qreg q[2];\nrx() q[0];\n",
+                    "wrong parameter count");
+    expectQasmError("qreg q[2];\nfrobnicate q[0];\n", "unknown op");
+}
+
+TEST(Qasm, BenignWhitespaceInsideTokensIsAccepted)
+{
+    // The strict number parsing must not narrow the accepted
+    // dialect: padding inside parens/brackets stays legal.
+    const Circuit c = circuit::fromQasm(
+        "OPENQASM 2.0;\nqreg q[ 2 ];\nrx( 0.5 ) q[ 0 ];\n"
+        "cx q[0],q[ 1 ];\n");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c[0].params[0], 0.5);
+    EXPECT_EQ(c[1].qubits, (std::vector<int>{0, 1}));
+}
+
+TEST(Qasm, ErrorsCarryTheLineNumber)
+{
+    try {
+        (void)circuit::fromQasm(
+            "OPENQASM 2.0;\nqreg q[2];\n// fine\ncx q[0],q[9];\n");
+        FAIL() << "no parse error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos)
+            << e.what();
+    }
 }

@@ -11,6 +11,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "circuit/lower.hh"
 #include "circuit/qasm.hh"
@@ -339,6 +342,48 @@ TEST(CompileService, QasmJobsCompileAndParseErrorsAreCaptured)
         good_res.compiled.circuit,
         good_res.compiled.finalPermutation);
     EXPECT_LT(qmath::traceInfidelity(ref, got), 1e-6);
+}
+
+TEST(CompileService, ParserErrorPathsAreCapturedPerJob)
+{
+    // Every malformed-QASM shape the parser rejects must surface as
+    // a per-job error (with its reason intact) and leave the rest of
+    // the batch untouched.
+    const std::vector<std::pair<std::string, std::string>> bad = {
+        {"qreg q2];\nh q[0];\n", "malformed qreg"},
+        {"qreg q[2];\ncx q[0],q[7];\n", "out of range"},
+        {"qreg q[2];\nrx(0.5 q[0];\n", "unterminated parameter"},
+        {"qreg q[2];\nh q[0]\n", "missing ';'"},
+        {"h q[0];\nqreg q[2];\n", "gate before qreg"},
+    };
+    service::ServiceOptions sopts;
+    sopts.threads = 2;
+    service::CompileService svc(sopts);
+
+    std::vector<std::uint64_t> bad_ids;
+    for (const auto &[qasm, needle] : bad) {
+        service::CompileRequest req;
+        req.name = needle;
+        req.qasm = qasm;
+        bad_ids.push_back(svc.submit(std::move(req)));
+    }
+    service::CompileRequest good;
+    good.name = "good";
+    good.qasm = "qreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+    const auto good_id = svc.submit(std::move(good));
+
+    for (size_t i = 0; i < bad_ids.size(); ++i) {
+        const service::JobResult r = svc.wait(bad_ids[i]);
+        EXPECT_FALSE(r.ok) << bad[i].first;
+        EXPECT_NE(r.error.find("qasm parse error"),
+                  std::string::npos)
+            << r.error;
+        EXPECT_NE(r.error.find(bad[i].second), std::string::npos)
+            << r.error;
+    }
+    const service::JobResult gr = svc.wait(good_id);
+    ASSERT_TRUE(gr.ok) << gr.error;
+    EXPECT_GT(gr.metrics.count2Q, 0);
 }
 
 TEST(CompileService, WaitSemantics)
