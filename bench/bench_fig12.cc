@@ -101,10 +101,10 @@ main(int argc, char **argv)
             // CNOT flow.
             Circuit cx_logic = compiler::tketLike(bm.circuit);
             const int n = cx_logic.numQubits();
-            route::Topology topo =
-                std::string(device) == "chain"
-                    ? route::Topology::chain(n)
-                    : route::Topology::gridFor(n);
+            // One hardware description for benches and compiler
+            // alike: the shared bench device (bench/common).
+            const route::Topology topo =
+                deviceBackend(device, n).topology();
             route::RouteOptions ropts;
             route::RouteResult cx_routed =
                 route::sabreRoute(cx_logic, topo, ropts);

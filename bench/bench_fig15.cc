@@ -153,10 +153,10 @@ main(int argc, char **argv)
 
             if (std::string(device) != "logical") {
                 const int n = bm.circuit.numQubits();
-                route::Topology topo =
-                    std::string(device) == "chain"
-                        ? route::Topology::chain(n)
-                        : route::Topology::gridFor(n);
+                // Shared bench device (bench/common): same hardware
+                // description as the compiler/service layers.
+                const route::Topology topo =
+                    deviceBackend(device, n).topology();
                 route::RouteOptions ropts;
                 route::RouteResult rb =
                     route::sabreRoute(base_logic, topo, ropts);

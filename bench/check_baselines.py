@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI perf-guard: compare bench --json outputs against committed baselines.
+
+Usage:
+    check_baselines.py BASELINES.json bench=current.json [bench=current.json ...]
+
+Each metric in BASELINES.json names the bench file it is read from
+(``bench``), the key inside that JSON document (``key``, dotted paths
+allowed), the committed ``baseline`` value, and the failure rules:
+
+- gross regression: fail when current < baseline / maxRegression
+  (default 2.0 -- only a >2x drop trips the guard; higher is always fine);
+- sign flip: with ``requirePositive``, fail when current <= 0.
+
+Exit status: 0 all metrics pass, 1 any metric fails, 2 usage/IO errors.
+The thresholds are deliberately loose; see baselines.json.
+"""
+
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            baselines = json.load(f)
+        current = {}
+        for arg in argv[2:]:
+            name, _, path = arg.partition("=")
+            if not path:
+                print(f"check_baselines: expected bench=path, got '{arg}'",
+                      file=sys.stderr)
+                return 2
+            with open(path) as f:
+                current[name] = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_baselines: {e}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for metric in baselines.get("metrics", []):
+        name = metric["name"]
+        bench = metric["bench"]
+        if bench not in current:
+            print(f"SKIP  {name}: no '{bench}=...' output supplied")
+            continue
+        value = lookup(current[bench], metric["key"])
+        if not isinstance(value, (int, float)):
+            print(f"FAIL  {name}: key '{metric['key']}' missing from "
+                  f"the {bench} output")
+            failures += 1
+            continue
+        baseline = metric["baseline"]
+        max_regression = metric.get("maxRegression", 2.0)
+        floor = baseline / max_regression
+        verdict = "ok"
+        if metric.get("requirePositive") and value <= 0:
+            verdict = (f"sign flip: {value:.6g} <= 0 "
+                       f"(baseline {baseline:.6g})")
+        elif value < floor:
+            verdict = (f"gross regression: {value:.6g} < "
+                       f"{floor:.6g} (= baseline {baseline:.6g} / "
+                       f"{max_regression:g})")
+        if verdict == "ok":
+            print(f"OK    {name}: {value:.6g} "
+                  f"(baseline {baseline:.6g}, floor {floor:.6g})")
+        else:
+            print(f"FAIL  {name}: {verdict}")
+            failures += 1
+
+    if failures:
+        print(f"check_baselines: {failures} metric(s) regressed")
+        return 1
+    print("check_baselines: all metrics within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,15 +16,42 @@ parseOptions(int argc, char **argv)
             opt.full = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.json = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             opt.seed = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else {
+        } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "note: ignoring unknown flag '%s'\n",
                          argv[i]);
         }
+        // Non-flag operands are left for the binary (bench_backend
+        // takes chip-file paths).
     }
     return opt;
+}
+
+backend::Backend
+deviceBackend(const std::string &kind, int n)
+{
+    const route::Topology topo =
+        kind == "chain" ? route::Topology::chain(n)
+                        : route::Topology::gridFor(n);
+    backend::QubitCalibration qubit;
+    qubit.t1 = kBenchT1;
+    qubit.t2 = kBenchT2;
+    const isa::NoiseModel defaults;
+    return backend::Backend::uniform(
+        topo, uarch::Coupling::xy(1.0), qubit, defaults.p0);
+}
+
+isa::NoiseModel
+benchNoise()
+{
+    isa::NoiseModel noise;
+    noise.t1 = kBenchT1;
+    noise.t2 = kBenchT2;
+    return noise;
 }
 
 Table::Table(std::string title, std::vector<std::string> header)

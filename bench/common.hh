@@ -5,8 +5,10 @@
  * Every bench binary regenerates one table or figure of the paper.  By
  * default sizes/sample counts are reduced so the whole harness runs in
  * minutes; pass --full for paper-scale runs, --csv for
- * machine-readable output and --seed N (default 2026) to vary the
- * randomized sweeps. Unknown flags are ignored with a note on stderr.
+ * machine-readable tables, --json for the structured summary the CI
+ * perf-guard consumes (bench_schedule / bench_backend) and --seed N
+ * (default 2026) to vary the randomized sweeps. Unknown flags are
+ * ignored with a note on stderr.
  * See docs/BENCHMARKS.md for the full flag reference.
  */
 
@@ -16,6 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hh"
+#include "isa/fidelity.hh"
+#include "route/topology.hh"
+
 namespace reqisc::benchtool
 {
 
@@ -24,8 +30,30 @@ struct Options
 {
     bool full = false;   //!< paper-scale sample counts
     bool csv = false;    //!< emit CSV instead of aligned text
+    bool json = false;   //!< machine-readable output (perf-guard)
     unsigned seed = 2026;
 };
+
+/**
+ * The bench-wide decoherence constants (1/g units): the T1/T2 pair
+ * every harness that wants "a plausibly noisy device" uses. One home
+ * here instead of per-bench ad hoc copies.
+ */
+inline constexpr double kBenchT1 = 2000.0;
+inline constexpr double kBenchT2 = 1000.0;
+
+/**
+ * The shared bench device: a homogeneous backend::Backend on the
+ * named topology ("chain" or "grid", grid sized by gridFor) with the
+ * repo-default XY unit coupling, kBenchT1/kBenchT2 decoherence and
+ * the isa::NoiseModel default 2Q error rate. Benches take their
+ * Topology / models from here so the harnesses and the compiler
+ * describe the same hardware.
+ */
+backend::Backend deviceBackend(const std::string &kind, int n);
+
+/** The bench noise model: repo-default p0/tau0 + kBenchT1/kBenchT2. */
+isa::NoiseModel benchNoise();
 
 /** Parse the common flags; unknown flags are ignored with a warning. */
 Options parseOptions(int argc, char **argv);

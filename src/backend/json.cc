@@ -1,0 +1,287 @@
+#include "backend/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace reqisc::backend
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    const JsonValue *found = nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            found = &v;
+    return found;
+}
+
+const char *
+JsonValue::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &context)
+        : text_(text), context_(context)
+    {
+    }
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos_ < text_.size())
+            fail("trailing content after the top-level value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        throw JsonError(context_ + ":" + std::to_string(line_) +
+                        ": " + msg);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '\n')
+                ++line_;
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expectKeyword(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("invalid literal (expected '") +
+                     word + "')");
+            ++pos_;
+        }
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        JsonValue v;
+        v.line = line_;
+        switch (c) {
+          case '{': parseObject(v); break;
+          case '[': parseArray(v); break;
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            v.str = parseString();
+            break;
+          case 't':
+            expectKeyword("true");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            break;
+          case 'f':
+            expectKeyword("false");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            break;
+          case 'n':
+            expectKeyword("null");
+            v.kind = JsonValue::Kind::Null;
+            break;
+          default:
+            if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+                parseNumber(v);
+            else
+                fail(std::string("unexpected character '") + c + "'");
+        }
+        return v;
+    }
+
+    void parseObject(JsonValue &v)
+    {
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (consumeIf('}'))
+            return;
+        for (;;) {
+            if (peek() != '"')
+                fail("expected a quoted object key");
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            if (consumeIf(','))
+                continue;
+            expect('}');
+            return;
+        }
+    }
+
+    void parseArray(JsonValue &v)
+    {
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (consumeIf(']'))
+            return;
+        for (;;) {
+            v.array.push_back(parseValue());
+            if (consumeIf(','))
+                continue;
+            expect(']');
+            return;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\n')
+                fail("unterminated string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape sequence");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              default:
+                fail(std::string("unsupported escape '\\") + e + "'");
+            }
+        }
+    }
+
+    void parseNumber(JsonValue &v)
+    {
+        const size_t start = pos_;
+        if (consumeIf('-')) {
+        }
+        auto digits = [&] {
+            size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0)
+            fail("malformed number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                fail("malformed number (missing fraction digits)");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                fail("malformed number (missing exponent digits)");
+        }
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+    }
+
+    const std::string &text_;
+    const std::string &context_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text, const std::string &context)
+{
+    return Parser(text, context).parseDocument();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace reqisc::backend

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal JSON reader for chip description files.
+ *
+ * Hand-rolled on purpose: the repo's only JSON *input* is the backend
+ * chip files, and the container build must not grow third-party
+ * dependencies. Supports the JSON value grammar (objects, arrays,
+ * strings with the common escapes, numbers, true/false/null) and
+ * tracks the source line of every value so schema validation can
+ * report `file:line: field ...` errors (tests/test_backend.cc pins
+ * the error paths).
+ *
+ * Not a general-purpose library: no \uXXXX surrogate pairs, no
+ * duplicate-key detection (the last key wins on lookup), numbers are
+ * parsed as double.
+ */
+
+#ifndef REQISC_BACKEND_JSON_HH
+#define REQISC_BACKEND_JSON_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reqisc::backend
+{
+
+/** Parse or schema error, already carrying "file:line:" context. */
+class JsonError : public std::runtime_error
+{
+  public:
+    explicit JsonError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** One parsed JSON value (a small tagged tree). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Key order is preserved (useful for deterministic errors). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+    /** 1-based source line where this value starts. */
+    int line = 0;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent (last key wins). */
+    const JsonValue *find(const std::string &key) const;
+
+    static const char *kindName(Kind k);
+};
+
+/**
+ * Parse a complete JSON document. `context` (typically the file
+ * name) prefixes every error message: "<context>:<line>: ...".
+ * Trailing non-whitespace after the top-level value is an error.
+ */
+JsonValue parseJson(const std::string &text,
+                    const std::string &context = "<json>");
+
+/**
+ * Escape a string for embedding in emitted JSON (quotes, backslash,
+ * control characters). The emit-side counterpart of the reader,
+ * shared by reqisc-compile and the --json bench summaries.
+ */
+std::string jsonEscape(const std::string &s);
+
+} // namespace reqisc::backend
+
+#endif // REQISC_BACKEND_JSON_HH

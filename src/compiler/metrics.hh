@@ -71,6 +71,23 @@ struct ScheduleStats
     int instructions = 0;
 };
 
+/**
+ * Backend-aware evaluation report, filled by the service layer when
+ * a job compiled against a concrete chip (src/backend): the compiled
+ * circuit is routed onto the chip and scored under the per-edge
+ * reconfigured gate set vs the best uniform (fixed-ISA) one.
+ */
+struct BackendStats
+{
+    bool used = false;
+    int routedSwaps = 0;       //!< SWAPs SABRE inserted
+    int routedSwapsAbsorbed = 0;  //!< SWAPs mirrored away
+    /** backend::estimateFidelity under the per-edge table. */
+    double fidelityReconfigured = 0.0;
+    /** Same circuit under the best uniform gate set. */
+    double fidelityUniform = 0.0;
+};
+
 /** Circuit-level evaluation metrics. */
 struct Metrics
 {
@@ -81,6 +98,7 @@ struct Metrics
     CacheCounters synthCache;  //!< block-resynthesis memo activity
     CacheCounters pulseCache;  //!< pulse-solve memo activity
     ScheduleStats schedule;    //!< filled when the job was scheduled
+    BackendStats backend;      //!< filled when compiled to a chip
 };
 
 /**

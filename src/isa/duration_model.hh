@@ -19,6 +19,9 @@
 #ifndef REQISC_ISA_DURATION_MODEL_HH
 #define REQISC_ISA_DURATION_MODEL_HH
 
+#include <map>
+#include <utility>
+
 #include "circuit/gate.hh"
 #include "uarch/coupling.hh"
 
@@ -41,16 +44,28 @@ inline constexpr double kDefaultMeasurementDuration = 10.0;
 /** Per-instruction durations for one target device. */
 struct DurationModel
 {
+    /** Chip-wide fallback coupling (homogeneous devices). */
     uarch::Coupling coupling = uarch::Coupling::xy(1.0);
+    /**
+     * Per-edge coupling overrides for heterogeneous chips, keyed on
+     * the (min, max)-normalized physical pair. Populated by
+     * backend::Backend::durationModel(); empty = every pair uses
+     * `coupling` (the pre-backend behavior). A 2Q gate on a pair
+     * found here is timed against that edge's own coupling.
+     */
+    std::map<std::pair<int, int>, uarch::Coupling> edgeCoupling;
     double oneQubit = kDefaultOneQubitDuration;
     double measurement = kDefaultMeasurementDuration;
 
+    /** Coupling used for a pair: the edge override or the fallback. */
+    const uarch::Coupling &couplingFor(int a, int b) const;
+
     /**
      * Duration of a gate: `oneQubit` for 1Q gates, the genAshN
-     * optimal duration of its Weyl coordinate for 2Q gates. Throws
-     * std::invalid_argument for gates on three or more qubits (the
-     * scheduler consumes compiled {Can, U3} circuits; lower
-     * high-level IR first).
+     * optimal duration of its Weyl coordinate on couplingFor(its
+     * pair) for 2Q gates. Throws std::invalid_argument for gates on
+     * three or more qubits (the scheduler consumes compiled
+     * {Can, U3} circuits; lower high-level IR first).
      */
     double gate(const circuit::Gate &g) const;
 };

@@ -41,6 +41,18 @@ executionOrder(const Program &p)
 
 } // namespace
 
+double
+NoiseModel::p0For(int a, int b) const
+{
+    if (!p0PerEdge.empty()) {
+        const auto it = p0PerEdge.find(
+            std::pair<int, int>(std::minmax(a, b)));
+        if (it != p0PerEdge.end())
+            return it->second;
+    }
+    return p0;
+}
+
 std::vector<double>
 simulateTimed(const Program &p, const NoiseModel &noise,
               const std::vector<int> &final_perm)
@@ -55,8 +67,9 @@ simulateTimed(const Program &p, const NoiseModel &noise,
                 const double dt = i->start - lastEnd[q];
                 if (dt > kIdleEps) {
                     rho.amplitudeDamp(
-                        q, decayProbability(dt, noise.t1));
-                    rho.phaseDamp(q, decayProbability(dt, noise.t2));
+                        q, decayProbability(dt, noise.t1For(q)));
+                    rho.phaseDamp(
+                        q, decayProbability(dt, noise.t2For(q)));
                 }
             }
             lastEnd[q] = std::max(lastEnd[q], i->end());
@@ -64,8 +77,10 @@ simulateTimed(const Program &p, const NoiseModel &noise,
         if (i->kind == Instruction::Kind::Gate) {
             rho.applyGate(i->gate);
             if (i->gate.numQubits() >= 2) {
+                const double p0 = noise.p0For(i->gate.qubits[0],
+                                              i->gate.qubits[1]);
                 const double perr = std::min(
-                    1.0, noise.p0 * i->duration / noise.tau0);
+                    1.0, p0 * i->duration / noise.tau0);
                 rho.depolarize(i->gate.qubits, perr);
             }
         }
@@ -88,15 +103,18 @@ analyticFidelity(const Program &p, const NoiseModel &noise)
             if (lastEnd[q] >= 0.0) {
                 const double dt = i->start - lastEnd[q];
                 if (dt > kIdleEps)
-                    f *= (1.0 - decayProbability(dt, noise.t1)) *
-                         (1.0 - decayProbability(dt, noise.t2));
+                    f *= (1.0 -
+                          decayProbability(dt, noise.t1For(q))) *
+                         (1.0 -
+                          decayProbability(dt, noise.t2For(q)));
             }
             lastEnd[q] = std::max(lastEnd[q], i->end());
         }
         if (i->kind == Instruction::Kind::Gate &&
             i->gate.numQubits() >= 2)
-            f *= 1.0 - std::min(1.0, noise.p0 * i->duration /
-                                         noise.tau0);
+            f *= 1.0 - std::min(1.0, noise.p0For(i->gate.qubits[0],
+                                                 i->gate.qubits[1]) *
+                                         i->duration / noise.tau0);
     }
     return f;
 }

@@ -24,6 +24,8 @@
 #define REQISC_ISA_FIDELITY_HH
 
 #include <limits>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "isa/program.hh"
@@ -43,6 +45,33 @@ struct NoiseModel
     double t1 = std::numeric_limits<double>::infinity();
     /** Dephasing time; infinity = off. */
     double t2 = std::numeric_limits<double>::infinity();
+    /**
+     * Per-qubit T1/T2 overrides for heterogeneous chips (populated
+     * by backend::Backend::noiseModel()). Qubits beyond the vector
+     * length — in particular every qubit when the vectors are empty,
+     * the pre-backend default — fall back to the scalar t1/t2.
+     */
+    std::vector<double> t1PerQubit;
+    std::vector<double> t2PerQubit;
+    /**
+     * Per-edge 2Q depolarizing rate at tau0, keyed on the
+     * (min, max)-normalized pair; pairs not present use `p0`.
+     */
+    std::map<std::pair<int, int>, double> p0PerEdge;
+
+    double t1For(int q) const
+    {
+        return static_cast<size_t>(q) < t1PerQubit.size()
+                   ? t1PerQubit[static_cast<size_t>(q)]
+                   : t1;
+    }
+    double t2For(int q) const
+    {
+        return static_cast<size_t>(q) < t2PerQubit.size()
+                   ? t2PerQubit[static_cast<size_t>(q)]
+                   : t2;
+    }
+    double p0For(int a, int b) const;
 };
 
 /**

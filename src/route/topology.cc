@@ -86,6 +86,28 @@ Topology::gridFor(int n)
 }
 
 Topology
+Topology::custom(int n, const std::vector<std::pair<int, int>> &edges,
+                 std::string name)
+{
+    Topology t(n, std::move(name));
+    for (const auto &[a, b] : edges)
+        t.addEdge(a, b);
+    t.computeDistances();
+    return t;
+}
+
+bool
+Topology::isConnected() const
+{
+    if (n_ <= 1)
+        return true;
+    for (int q = 1; q < n_; ++q)
+        if (dist_[0][q] >= (1 << 20))
+            return false;
+    return true;
+}
+
+Topology
 Topology::allToAll(int n)
 {
     Topology t(n, "all2all");

@@ -34,6 +34,19 @@ class Topology
     /** Fully connected device (logical-level compilation). */
     static Topology allToAll(int n);
 
+    /**
+     * Arbitrary edge list (the backend chip-file path). Endpoints
+     * must be in [0, n) and distinct per edge; duplicate edges are
+     * collapsed. The graph may be disconnected — callers that need
+     * full reachability (routing) check isConnected() first.
+     */
+    static Topology custom(int n,
+                           const std::vector<std::pair<int, int>> &edges,
+                           std::string name = "custom");
+
+    /** True iff every qubit is reachable from qubit 0. */
+    bool isConnected() const;
+
     int numQubits() const { return n_; }
     bool connected(int a, int b) const;
     const std::vector<std::pair<int, int>> &edges() const

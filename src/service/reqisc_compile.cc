@@ -22,10 +22,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "backend/backend.hh"
+#include "backend/json.hh"
+#include "backend/reconfigure.hh"
 #include "isa/assembly.hh"
 #include "isa/schedule.hh"
 #include "service/service.hh"
@@ -44,6 +48,7 @@ struct CliOptions
 {
     std::vector<std::string> files;
     std::string suite;           //!< "", "small" or "medium"
+    std::string backendPath;     //!< chip JSON file; "" = no backend
     service::Pipeline pipeline = service::Pipeline::Full;
     int jobs = 1;
     int repeat = 1;
@@ -70,6 +75,12 @@ printUsage(std::ostream &os)
           "  --repeat K            submit each input K times "
           "(default: 1)\n"
           "  --suite small|medium  also compile the built-in suite\n"
+          "  --backend FILE        compile to the chip described by "
+          "FILE (JSON);\n"
+          "                        routes onto its topology and "
+          "reports per-edge\n"
+          "                        reconfigured vs uniform gate-set "
+          "fidelity\n"
           "  --seed N              instantiation seed (default: 777)\n"
           "  --variational         variational (fixed-basis) mode\n"
           "  --no-cache            disable the shared SU(4) caches\n"
@@ -136,6 +147,11 @@ parseArgs(int argc, char **argv, CliOptions &cli)
                           << cli.suite << "'\n";
                 return false;
             }
+        } else if (arg == "--backend") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.backendPath = v;
         } else if (arg == "--seed") {
             const char *v = value(i);
             if (!v)
@@ -175,30 +191,7 @@ parseArgs(int argc, char **argv, CliOptions &cli)
     return true;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned char>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using backend::jsonEscape;
 
 std::string
 fmtDouble(double v, int precision)
@@ -307,6 +300,17 @@ main(int argc, char **argv)
     sopts.threads = cli.jobs;
     sopts.enableSynthCache = !cli.noCache;
     sopts.enablePulseCache = !cli.noCache;
+    if (!cli.backendPath.empty()) {
+        try {
+            sopts.backend =
+                std::make_shared<const backend::Backend>(
+                    backend::Backend::fromJsonFile(
+                        cli.backendPath));
+        } catch (const backend::JsonError &e) {
+            std::cerr << "reqisc-compile: " << e.what() << "\n";
+            return 2;
+        }
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     service::CompileService svc(sopts);
@@ -347,6 +351,18 @@ main(int argc, char **argv)
                     << ", \"pulseCacheHitRate\": "
                     << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
                     << ", \"seconds\": " << fmtDouble(r.seconds, 4);
+                if (r.metrics.backend.used) {
+                    const auto &b = r.metrics.backend;
+                    std::cout
+                        << ", \"backend\": {\"routedSwaps\": "
+                        << b.routedSwaps
+                        << ", \"routedSwapsAbsorbed\": "
+                        << b.routedSwapsAbsorbed
+                        << ", \"fidelityReconfigured\": "
+                        << fmtDouble(b.fidelityReconfigured, 6)
+                        << ", \"fidelityUniform\": "
+                        << fmtDouble(b.fidelityUniform, 6) << "}";
+                }
                 if (r.metrics.schedule.scheduled) {
                     const auto &s = r.metrics.schedule;
                     std::cout
@@ -382,7 +398,30 @@ main(int argc, char **argv)
             std::cout << "}"
                       << (i + 1 < results.size() ? "," : "") << "\n";
         }
-        std::cout << "  ],\n  \"synthCache\": {\"hits\": "
+        if (svc.backend()) {
+            const backend::Backend &chip = *svc.backend();
+            const backend::ReconfigureResult &rc =
+                *svc.reconfiguration();
+            std::cout << "  ],\n  \"backend\": {\"name\": \""
+                      << jsonEscape(chip.name())
+                      << "\", \"qubits\": " << chip.numQubits()
+                      << ", \"uniformGate\": \"" << rc.uniformName
+                      << "\", \"edges\": [\n";
+            for (size_t i = 0; i < rc.table.size(); ++i) {
+                const backend::EdgeInstruction &e = rc.table[i];
+                std::cout
+                    << "    {\"a\": " << e.a << ", \"b\": " << e.b
+                    << ", \"gate\": \"" << e.name
+                    << "\", \"duration\": "
+                    << fmtDouble(e.duration, 4) << ", \"score\": "
+                    << fmtDouble(e.score, 6) << "}"
+                    << (i + 1 < rc.table.size() ? "," : "") << "\n";
+            }
+            std::cout << "  ]},\n  \"synthCache\": {\"hits\": ";
+        } else {
+            std::cout << "  ],\n  \"synthCache\": {\"hits\": ";
+        }
+        std::cout
                   << synth_stats.hits << ", \"misses\": "
                   << synth_stats.misses << ", \"evictions\": "
                   << synth_stats.evictions << ", \"solveSeconds\": "
@@ -396,11 +435,30 @@ main(int argc, char **argv)
                   << ", \"entries\": " << svc.pulseCacheSize()
                   << "}\n}\n";
     } else {
+        if (svc.backend()) {
+            const backend::Backend &chip = *svc.backend();
+            const backend::ReconfigureResult &rc =
+                *svc.reconfiguration();
+            std::printf("backend %s: %d qubits, %zu edges, uniform "
+                        "baseline '%s'\n",
+                        chip.name().c_str(), chip.numQubits(),
+                        chip.edges().size(),
+                        rc.uniformName.c_str());
+            for (const backend::EdgeInstruction &e : rc.table)
+                std::printf("  (q%d,q%d) -> %-5s tau=%.3f "
+                            "score=%.6f\n",
+                            e.a, e.b, e.name.c_str(), e.duration,
+                            e.score);
+            std::printf("\n");
+        }
         std::printf("%-28s %6s %7s %9s %8s %7s %7s %8s", "circuit",
                     "#2Q", "2Q-dep", "duration", "distSU4", "synth%",
                     "pulse%", "ms");
         if (cli.schedule)
             std::printf(" %9s %5s %8s", "makespan", "par", "idle");
+        if (svc.backend())
+            std::printf(" %5s %9s %9s", "swaps", "F reconf",
+                        "F unifrm");
         std::printf("\n");
         for (const service::JobResult &r : results) {
             if (!r.ok) {
@@ -421,6 +479,11 @@ main(int argc, char **argv)
                             r.metrics.schedule.makespan,
                             r.metrics.schedule.parallelism,
                             r.metrics.schedule.idleTime);
+            if (r.metrics.backend.used)
+                std::printf(" %5d %9.6f %9.6f",
+                            r.metrics.backend.routedSwaps,
+                            r.metrics.backend.fidelityReconfigured,
+                            r.metrics.backend.fidelityUniform);
             std::printf("\n");
         }
         if (cli.emitIsa) {

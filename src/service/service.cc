@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/qasm.hh"
+#include "route/sabre.hh"
 
 namespace reqisc::service
 {
@@ -96,6 +97,23 @@ CompileService::CompileService(ServiceOptions opts)
     if (threads_ <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         threads_ = hw ? static_cast<int>(hw) : 1;
+    }
+    if (opts_.backend) {
+        // The gate-set selection loop runs once per service; jobs
+        // only read the tables.
+        reconfig_ = backend::reconfigure(*opts_.backend);
+        if (opts_.backend->isHomogeneous() &&
+            !opts_.backend->edges().empty()) {
+            // One coupling chip-wide: the shared pulse cache can
+            // serve it directly. (Backend::uniform can produce an
+            // edge-less single-qubit chip; keep the default
+            // coupling there.)
+            opts_.coupling = opts_.backend->edges().front().coupling;
+        } else {
+            // The pulse cache is bound to a single coupling, which
+            // heterogeneous chips do not have.
+            opts_.enablePulseCache = false;
+        }
     }
     if (opts_.enableSynthCache)
         synthCache_ = std::make_unique<SynthCache>(
@@ -234,18 +252,79 @@ CompileService::runJob(const Job &job)
             job.req.pipeline == Pipeline::Eff
                 ? compiler::reqiscEff(input, copts)
                 : compiler::reqiscFull(input, copts);
-        res.metrics = compiler::evaluate(
-            compiled.circuit,
-            compiler::reqiscDurationModel(opts_.coupling));
+        if (opts_.backend) {
+            // Backend-aware path: route onto the chip, then time,
+            // schedule and score everything against the per-edge
+            // calibration.
+            const backend::Backend &chip = *opts_.backend;
+            route::RouteOptions ropts;
+            ropts.mirroring = true;
+            ropts.seed = copts.seed;
+            const route::RouteResult rr = route::sabreRoute(
+                compiled.circuit, chip.topology(), ropts);
+            // SU(4)-ISA convention: an inserted SWAP is one Can gate.
+            circuit::Circuit phys(rr.circuit.numQubits());
+            for (const circuit::Gate &g : rr.circuit) {
+                if (g.op == circuit::Op::SWAP)
+                    phys.add(circuit::Gate::can(
+                        g.qubits[0], g.qubits[1],
+                        weyl::WeylCoord::swap()));
+                else
+                    phys.add(g);
+            }
+            const isa::DurationModel durations =
+                chip.durationModel();
+            res.metrics = compiler::evaluate(
+                phys, [&durations](const circuit::Gate &g) {
+                    return g.numQubits() < 2 ? 0.0
+                                             : durations.gate(g);
+                });
+            res.metrics.backend.used = true;
+            res.metrics.backend.routedSwaps = rr.swapsInserted;
+            res.metrics.backend.routedSwapsAbsorbed =
+                rr.swapsAbsorbed;
+            res.metrics.backend.fidelityReconfigured =
+                backend::estimateFidelity(phys, chip,
+                                          reconfig_.table);
+            res.metrics.backend.fidelityUniform =
+                backend::estimateFidelity(phys, chip,
+                                          reconfig_.uniformTable);
+            // Logical q -> compiled wire -> physical wire.
+            res.finalLayout.resize(
+                compiled.finalPermutation.size());
+            for (size_t q = 0;
+                 q < compiled.finalPermutation.size(); ++q)
+                res.finalLayout[q] = rr.finalLayout[static_cast<
+                    size_t>(compiled.finalPermutation[q])];
+            if (job.req.schedule) {
+                isa::ScheduleOptions sopts =
+                    job.req.scheduleOptions;
+                sopts.durations = durations;
+                sopts.topology = &chip.topology();
+                res.program = isa::schedule(phys, sopts);
+                res.metrics.schedule = res.program.stats();
+            }
+            res.routed = std::move(phys);
+        } else {
+            res.metrics = compiler::evaluate(
+                compiled.circuit,
+                compiler::reqiscDurationModel(opts_.coupling));
+            if (job.req.schedule) {
+                isa::ScheduleOptions sopts =
+                    job.req.scheduleOptions;
+                sopts.durations.coupling = opts_.coupling;
+                res.program = isa::schedule(compiled.circuit, sopts);
+                res.metrics.schedule = res.program.stats();
+            }
+        }
         if (synthCache_)
             res.metrics.synthCache = synthMemo.counters();
-        if (job.req.schedule) {
-            isa::ScheduleOptions sopts = job.req.scheduleOptions;
-            sopts.durations.coupling = opts_.coupling;
-            res.program = isa::schedule(compiled.circuit, sopts);
-            res.metrics.schedule = res.program.stats();
-        }
-        if (job.req.calibrate) {
+        // On a heterogeneous chip the reconfigured table *is* the
+        // calibration set (one native instruction per edge), so the
+        // per-circuit pulse-solve pass is skipped.
+        const bool heterogeneousChip =
+            opts_.backend && !opts_.backend->isHomogeneous();
+        if (job.req.calibrate && !heterogeneousChip) {
             CountingPulseMemo pulseMemo(pulseCache_.get());
             const uarch::CalibrationPlan plan =
                 uarch::planCalibration(

@@ -41,6 +41,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "backend/backend.hh"
+#include "backend/reconfigure.hh"
 #include "compiler/metrics.hh"
 #include "compiler/pipeline.hh"
 #include "isa/program.hh"
@@ -71,6 +73,18 @@ struct ServiceOptions
     uarch::Coupling coupling = uarch::Coupling::xy(1.0);
     /** SU(4)-class clustering tolerance (calibration + pulse cache). */
     double pulseClusterTol = 1e-6;
+    /**
+     * Concrete chip (per-edge calibration). When set, the service
+     * runs the gate-set reconfiguration loop once at construction
+     * and every job additionally: routes the compiled circuit onto
+     * the chip topology (mirroring-SABRE), evaluates metrics and
+     * schedules under the backend's per-edge duration model, and
+     * fills Metrics::backend with the reconfigured-vs-uniform
+     * fidelity estimates. The shared pulse cache stays bound to
+     * `coupling`, which per-edge couplings would invalidate, so it
+     * is disabled for heterogeneous backends.
+     */
+    std::shared_ptr<const backend::Backend> backend;
 };
 
 /** One unit of work. */
@@ -103,6 +117,13 @@ struct JobResult
     std::string error;
     compiler::CompileResult compiled;
     compiler::Metrics metrics;       //!< incl. per-job cache counters
+    /**
+     * Physical circuit on the backend topology (SWAPs fused into
+     * Can gates); empty unless the service has a backend. Logical
+     * qubit q ends on wire `finalLayout[q]`.
+     */
+    circuit::Circuit routed;
+    std::vector<int> finalLayout;
     /** Timed program (empty unless CompileRequest::schedule). */
     isa::Program program;
     /**
@@ -146,6 +167,17 @@ class CompileService
 
     int threads() const { return threads_; }
 
+    /** The chip this service compiles to; nullptr without one. */
+    const backend::Backend *backend() const
+    {
+        return opts_.backend.get();
+    }
+    /** The reconfigured gate-set tables; nullptr without a backend. */
+    const backend::ReconfigureResult *reconfiguration() const
+    {
+        return opts_.backend ? &reconfig_ : nullptr;
+    }
+
     /** Shared-cache instrumentation (service lifetime totals). */
     CacheCounters synthCacheStats() const;
     CacheCounters pulseCacheStats() const;
@@ -168,6 +200,8 @@ class CompileService
 
     ServiceOptions opts_;
     int threads_ = 1;
+    /** Gate-set tables, computed once when a backend is present. */
+    backend::ReconfigureResult reconfig_;
     std::unique_ptr<SynthCache> synthCache_;   //!< null when disabled
     std::unique_ptr<PulseCache> pulseCache_;   //!< null when disabled
 
