@@ -15,13 +15,19 @@
  *     toward 1x).
  *
  * Flags: --full (larger workload), --csv, --seed (see common.hh).
+ * --json emits the perf-guard summary instead: cold/warm seconds,
+ * memoization speedup and the per-pass aggregate timings of the
+ * warm run (compiler::PassTrace rolled up over the batch), so the
+ * committed baseline records where compile time goes.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common.hh"
+#include "compiler/metrics.hh"
 #include "service/service.hh"
 #include "suite/suite.hh"
 
@@ -51,11 +57,12 @@ workload(int copies)
 
 double
 runBatch(service::CompileService &svc,
-         std::vector<service::CompileRequest> batch)
+         std::vector<service::CompileRequest> batch,
+         std::vector<service::JobResult> *results_out = nullptr)
 {
     const auto t0 = std::chrono::steady_clock::now();
     svc.submitBatch(std::move(batch));
-    const auto results = svc.waitAll();
+    auto results = svc.waitAll();
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -64,6 +71,8 @@ runBatch(service::CompileService &svc,
             std::fprintf(stderr, "bench_service: %s failed: %s\n",
                          r.name.c_str(), r.error.c_str());
     }
+    if (results_out)
+        *results_out = std::move(results);
     return secs;
 }
 
@@ -75,6 +84,56 @@ main(int argc, char **argv)
     const Options opt = parseOptions(argc, argv);
     const int copies = opt.full ? 8 : 3;
     const std::size_t batch_size = workload(copies).size();
+
+    if (opt.json) {
+        // Perf-guard summary: memoization speedup at one thread plus
+        // the per-pass aggregate timings of the warm run — where
+        // compile time goes, stage by stage. Shares (fractions of
+        // the total in-pass time) are what baselines.json records:
+        // they are ratio-stable across runner speeds, unlike raw
+        // seconds.
+        service::ServiceOptions off;
+        off.threads = 1;
+        off.enableSynthCache = false;
+        off.enablePulseCache = false;
+        service::CompileService cold(off);
+        const double cold_secs = runBatch(cold, workload(copies));
+
+        service::ServiceOptions on;
+        on.threads = 1;
+        service::CompileService warm(on);
+        runBatch(warm, workload(1));  // warm the caches
+        std::vector<service::JobResult> results;
+        const double warm_secs =
+            runBatch(warm, workload(copies), &results);
+        std::vector<const compiler::Metrics *> jobs;
+        for (const auto &r : results)
+            if (r.ok)
+                jobs.push_back(&r.metrics);
+        const std::vector<compiler::PassAggregate> agg =
+            compiler::aggregatePassTraces(jobs);
+        double total = 0.0;
+        for (const auto &a : agg)
+            total += a.seconds;
+
+        std::printf("{\n  \"circuits\": %zu,\n", batch_size);
+        std::printf("  \"coldSeconds\": %.6f,\n", cold_secs);
+        std::printf("  \"warmSeconds\": %.6f,\n", warm_secs);
+        std::printf("  \"memoSpeedup\": %.6f,\n",
+                    warm_secs > 0.0 ? cold_secs / warm_secs : 0.0);
+        std::printf("  \"passSecondsTotal\": %.6f,\n", total);
+        std::printf("  \"passes\": {\n");
+        for (std::size_t i = 0; i < agg.size(); ++i) {
+            std::printf(
+                "    \"%s\": {\"seconds\": %.6f, \"share\": "
+                "%.6f}%s\n",
+                agg[i].pass.c_str(), agg[i].seconds,
+                total > 0.0 ? agg[i].seconds / total : 0.0,
+                i + 1 < agg.size() ? "," : "");
+        }
+        std::printf("  }\n}\n");
+        return 0;
+    }
 
     // ---- Sweep 1: what the caches alone buy (one thread) -------------
     Table cache_tbl(

@@ -3,6 +3,7 @@
 
 Usage:
     check_baselines.py BASELINES.json bench=current.json [bench=current.json ...]
+    check_baselines.py --self-check
 
 Each metric in BASELINES.json names the bench file it is read from
 (``bench``), the key inside that JSON document (``key``, dotted paths
@@ -12,12 +13,22 @@ allowed), the committed ``baseline`` value, and the failure rules:
   (default 2.0 -- only a >2x drop trips the guard; higher is always fine);
 - sign flip: with ``requirePositive``, fail when current <= 0.
 
+A key missing from either side -- a malformed baselines entry or a
+metric absent from the bench output -- is reported as a clean FAIL
+line naming the side and the key, never a traceback. ``--self-check``
+runs the guard against synthetic inputs with such defects injected
+and verifies each one is caught; CI runs it before trusting the
+guard.
+
 Exit status: 0 all metrics pass, 1 any metric fails, 2 usage/IO errors.
 The thresholds are deliberately loose; see baselines.json.
 """
 
 import json
 import sys
+
+#: Fields every baselines entry must carry.
+REQUIRED_FIELDS = ("name", "bench", "key", "baseline")
 
 
 def lookup(doc, dotted):
@@ -29,7 +40,124 @@ def lookup(doc, dotted):
     return cur
 
 
+def run_checks(baselines, current, out=sys.stdout):
+    """Compare every metric; returns the number of failures."""
+    failures = 0
+    for i, metric in enumerate(baselines.get("metrics", [])):
+        label = metric.get("name", f"metric[{i}]")
+        missing = [f for f in REQUIRED_FIELDS if f not in metric]
+        if missing:
+            print(f"FAIL  {label}: baselines entry is missing "
+                  f"field(s) {', '.join(repr(f) for f in missing)}",
+                  file=out)
+            failures += 1
+            continue
+        name = metric["name"]
+        bench = metric["bench"]
+        if bench not in current:
+            print(f"SKIP  {name}: no '{bench}=...' output supplied",
+                  file=out)
+            continue
+        value = lookup(current[bench], metric["key"])
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"FAIL  {name}: key '{metric['key']}' missing from "
+                  f"the {bench} output", file=out)
+            failures += 1
+            continue
+        baseline = metric["baseline"]
+        if not isinstance(baseline, (int, float)) or isinstance(baseline, bool):
+            print(f"FAIL  {name}: committed baseline is not a "
+                  f"number: {baseline!r}", file=out)
+            failures += 1
+            continue
+        max_regression = metric.get("maxRegression", 2.0)
+        if (not isinstance(max_regression, (int, float))
+                or isinstance(max_regression, bool)
+                or max_regression <= 0):
+            print(f"FAIL  {name}: maxRegression must be a positive "
+                  f"number, got {max_regression!r}", file=out)
+            failures += 1
+            continue
+        floor = baseline / max_regression
+        verdict = "ok"
+        if metric.get("requirePositive") and value <= 0:
+            verdict = (f"sign flip: {value:.6g} <= 0 "
+                       f"(baseline {baseline:.6g})")
+        elif value < floor:
+            verdict = (f"gross regression: {value:.6g} < "
+                       f"{floor:.6g} (= baseline {baseline:.6g} / "
+                       f"{max_regression:g})")
+        if verdict == "ok":
+            print(f"OK    {name}: {value:.6g} "
+                  f"(baseline {baseline:.6g}, floor {floor:.6g})",
+                  file=out)
+        else:
+            print(f"FAIL  {name}: {verdict}", file=out)
+            failures += 1
+    return failures
+
+
+def self_check():
+    """Exercise the guard on synthetic inputs with injected defects.
+
+    Each scenario is (baselines, current, expected_failures,
+    expected_snippet): the guard must report exactly that many clean
+    FAIL lines, one containing the snippet, and never raise.
+    """
+    import io
+
+    good = {"name": "m", "bench": "b", "key": "a.x", "baseline": 1.0}
+    current_ok = {"b": {"a": {"x": 1.2}}}
+    scenarios = [
+        # Healthy metric: no failures.
+        ({"metrics": [good]}, current_ok, 0, ""),
+        # Key missing from the bench output side.
+        ({"metrics": [dict(good, key="a.gone")]}, current_ok, 1,
+         "missing from the b output"),
+        # Injected-missing-key on the baselines side: no 'key' field.
+        ({"metrics": [{"name": "m", "bench": "b", "baseline": 1.0}]},
+         current_ok, 1, "missing field(s) 'key'"),
+        # Several fields missing at once, including the name.
+        ({"metrics": [{"baseline": 1.0}]}, current_ok, 1,
+         "metric[0]: baselines entry is missing"),
+        # Non-numeric baseline value.
+        ({"metrics": [dict(good, baseline="fast")]}, current_ok, 1,
+         "not a number"),
+        # A JSON null (missing measurement) is not a number either.
+        ({"metrics": [good]}, {"b": {"a": {"x": None}}}, 1,
+         "missing from the b output"),
+        # Gross regression still detected after the refactor.
+        ({"metrics": [good]}, {"b": {"a": {"x": 0.1}}}, 1,
+         "gross regression"),
+        # maxRegression of zero must not divide-by-zero crash.
+        ({"metrics": [dict(good, maxRegression=0)]}, current_ok, 1,
+         "maxRegression must be a positive number"),
+        # ... nor may a non-numeric one raise a TypeError.
+        ({"metrics": [dict(good, maxRegression="loose")]},
+         current_ok, 1, "maxRegression must be a positive number"),
+    ]
+    for i, (baselines, current, want, snippet) in enumerate(scenarios):
+        buf = io.StringIO()
+        try:
+            got = run_checks(baselines, current, out=buf)
+        except Exception as e:  # traceback = self-check failure
+            print(f"self-check scenario {i}: raised {e!r}\n"
+                  f"{buf.getvalue()}", file=sys.stderr)
+            return 1
+        text = buf.getvalue()
+        if got != want or (snippet and snippet not in text):
+            print(f"self-check scenario {i}: expected {want} "
+                  f"failure(s) mentioning {snippet!r}, got {got}:\n"
+                  f"{text}", file=sys.stderr)
+            return 1
+    print("check_baselines: self-check passed "
+          f"({len(scenarios)} scenarios)")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-check":
+        return self_check()
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -49,37 +177,7 @@ def main(argv):
         print(f"check_baselines: {e}", file=sys.stderr)
         return 2
 
-    failures = 0
-    for metric in baselines.get("metrics", []):
-        name = metric["name"]
-        bench = metric["bench"]
-        if bench not in current:
-            print(f"SKIP  {name}: no '{bench}=...' output supplied")
-            continue
-        value = lookup(current[bench], metric["key"])
-        if not isinstance(value, (int, float)):
-            print(f"FAIL  {name}: key '{metric['key']}' missing from "
-                  f"the {bench} output")
-            failures += 1
-            continue
-        baseline = metric["baseline"]
-        max_regression = metric.get("maxRegression", 2.0)
-        floor = baseline / max_regression
-        verdict = "ok"
-        if metric.get("requirePositive") and value <= 0:
-            verdict = (f"sign flip: {value:.6g} <= 0 "
-                       f"(baseline {baseline:.6g})")
-        elif value < floor:
-            verdict = (f"gross regression: {value:.6g} < "
-                       f"{floor:.6g} (= baseline {baseline:.6g} / "
-                       f"{max_regression:g})")
-        if verdict == "ok":
-            print(f"OK    {name}: {value:.6g} "
-                  f"(baseline {baseline:.6g}, floor {floor:.6g})")
-        else:
-            print(f"FAIL  {name}: {verdict}")
-            failures += 1
-
+    failures = run_checks(baselines, current)
     if failures:
         print(f"check_baselines: {failures} metric(s) regressed")
         return 1

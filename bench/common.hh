@@ -6,7 +6,8 @@
  * default sizes/sample counts are reduced so the whole harness runs in
  * minutes; pass --full for paper-scale runs, --csv for
  * machine-readable tables, --json for the structured summary the CI
- * perf-guard consumes (bench_schedule / bench_backend) and --seed N
+ * perf-guard consumes (bench_schedule / bench_backend /
+ * bench_service) and --seed N
  * (default 2026) to vary the randomized sweeps. Unknown flags are
  * ignored with a note on stderr.
  * See docs/BENCHMARKS.md for the full flag reference.

@@ -1,5 +1,7 @@
 #include "compiler/metrics.hh"
 
+#include <map>
+
 #include "uarch/duration.hh"
 #include "weyl/weyl.hh"
 
@@ -56,6 +58,30 @@ evaluate(const circuit::Circuit &c,
     m.duration = circuit::criticalPathDuration(c, duration_model);
     m.distinctSU4 = c.countDistinctSU4();
     return m;
+}
+
+std::vector<PassAggregate>
+aggregatePassTraces(const std::vector<const Metrics *> &jobs)
+{
+    std::vector<PassAggregate> out;
+    std::map<std::string, std::size_t> index;
+    for (const Metrics *m : jobs) {
+        if (!m)
+            continue;
+        for (const PassTrace &t : m->passes) {
+            auto [it, inserted] =
+                index.emplace(t.pass, out.size());
+            if (inserted) {
+                out.emplace_back();
+                out.back().pass = t.pass;
+            }
+            PassAggregate &a = out[it->second];
+            ++a.runs;
+            a.seconds += t.seconds;
+            a.delta2Q += t.count2QAfter - t.count2QBefore;
+        }
+    }
+    return out;
 }
 
 } // namespace reqisc::compiler

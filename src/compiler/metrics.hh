@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "circuit/circuit.hh"
 #include "uarch/coupling.hh"
@@ -72,20 +74,45 @@ struct ScheduleStats
 };
 
 /**
- * Backend-aware evaluation report, filled by the service layer when
- * a job compiled against a concrete chip (src/backend): the compiled
- * circuit is routed onto the chip and scored under the per-edge
- * reconfigured gate set vs the best uniform (fixed-ISA) one.
+ * Backend-aware evaluation report for jobs compiled against a
+ * concrete chip (src/backend): the compiled circuit is routed onto
+ * the chip (`used` + swap counts, set by the route pass) and scored
+ * under the per-edge reconfigured gate set vs the best uniform
+ * (fixed-ISA) one (fidelities, filled by the reconfigure pass —
+ * zero in custom pipelines that route without reconfiguring).
  */
 struct BackendStats
 {
-    bool used = false;
+    bool used = false;  //!< a route pass ran against a chip
     int routedSwaps = 0;       //!< SWAPs SABRE inserted
     int routedSwapsAbsorbed = 0;  //!< SWAPs mirrored away
     /** backend::estimateFidelity under the per-edge table. */
     double fidelityReconfigured = 0.0;
     /** Same circuit under the best uniform gate set. */
     double fidelityUniform = 0.0;
+};
+
+/**
+ * Per-pass instrumentation record, appended by the PassManager for
+ * every pass it runs (src/compiler/pass_manager.hh). Wall time plus
+ * the artifact deltas the paper's stage analysis cares about: gate
+ * and #2Q counts of the active artifact (the routed circuit once a
+ * routing pass produced one, the logical circuit before) immediately
+ * before and after the pass, and the scheduled makespan known after
+ * the pass (0 until a schedule pass has run).
+ *
+ * `seconds` is the only nondeterministic field; everything else is a
+ * pure function of (input, options, pass list).
+ */
+struct PassTrace
+{
+    std::string pass;        //!< registry token ("fuse", "schedule", ...)
+    double seconds = 0.0;    //!< wall time spent inside the pass
+    int gatesBefore = 0;
+    int gatesAfter = 0;
+    int count2QBefore = 0;
+    int count2QAfter = 0;
+    double makespanAfter = 0.0;  //!< Metrics::schedule.makespan so far
 };
 
 /** Circuit-level evaluation metrics. */
@@ -99,7 +126,28 @@ struct Metrics
     CacheCounters pulseCache;  //!< pulse-solve memo activity
     ScheduleStats schedule;    //!< filled when the job was scheduled
     BackendStats backend;      //!< filled when compiled to a chip
+    /** One entry per executed pass, in execution order. */
+    std::vector<PassTrace> passes;
 };
+
+/** One pass's roll-up over a batch of compiles. */
+struct PassAggregate
+{
+    std::string pass;     //!< PassTrace::pass token
+    int runs = 0;         //!< times the pass executed
+    double seconds = 0.0; //!< summed wall time
+    /** Summed #2Q change (count2QAfter - count2QBefore). */
+    long long delta2Q = 0;
+};
+
+/**
+ * Roll up per-pass traces across many compiles, in first-execution
+ * order — the one aggregation both `reqisc-compile --stats` and the
+ * `bench_service --json` perf-guard summary print, kept here so the
+ * two never diverge.
+ */
+std::vector<PassAggregate>
+aggregatePassTraces(const std::vector<const Metrics *> &jobs);
 
 /**
  * Per-gate pulse duration model.

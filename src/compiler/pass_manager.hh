@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The pass-manager architecture unifying the ReQISC compilation flow
+ * (Section 5.4 staged compiler; the Quil/eQASM layered-compilation
+ * contract).
+ *
+ * One CompilationUnit carries the evolving artifact set — logical
+ * circuit, tracked permutation, routed circuit + final layout, timed
+ * isa::Program, Metrics — together with the immutable compile
+ * context (options, target backend, coupling, schedule options).
+ * Passes are first-class objects (`Pass`: name() + run(unit)) and a
+ * PassManager runs a declarative list of them, recording wall time
+ * and artifact deltas into a per-pass Metrics::passes trace.
+ *
+ * The three former pipeline wirings all route through here:
+ * compiler::reqiscEff / reqiscFull are thin wrappers over the named
+ * Eff/Full compile-stage lists, service::CompileService::runJob is
+ * "build unit, run pipeline, copy out", and reqisc-compile exposes
+ * the spec grammar directly (`--pipeline custom:...`).
+ *
+ * Pipeline-spec grammar (parsePipelineSpec):
+ *
+ *     spec    := "eff" | "full" | "custom:" list
+ *     list    := token ("," token)*
+ *     token   := pass-name (":" arg)?
+ *
+ * e.g. "custom:synth,mirror,route,schedule:asap". Pass names come
+ * from passRegistry(); today only `schedule` and `hier-synth` take
+ * an argument (the strategy / the "nc" ablation variant).
+ *
+ * Determinism contract: for a fixed (input, options, pass list) the
+ * artifacts produced by running the manager are bit-identical across
+ * runs and thread counts; PassTrace::seconds is the only field that
+ * varies. The named Eff/Full lists reproduce the pre-pass-manager
+ * monolithic pipelines bit-for-bit (pinned by tests/test_passmanager).
+ */
+
+#ifndef REQISC_COMPILER_PASS_MANAGER_HH
+#define REQISC_COMPILER_PASS_MANAGER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hh"
+#include "backend/reconfigure.hh"
+#include "circuit/circuit.hh"
+#include "compiler/metrics.hh"
+#include "compiler/pipeline.hh"
+#include "isa/program.hh"
+#include "isa/schedule.hh"
+#include "uarch/coupling.hh"
+
+namespace reqisc::compiler
+{
+
+/**
+ * The shared artifact set a pipeline evolves, replacing the ad-hoc
+ * structs formerly threaded through CompileResult, JobResult and CLI
+ * locals. Context fields are set once before running; artifact
+ * fields are produced/updated by passes.
+ */
+struct CompilationUnit
+{
+    // ----- immutable context (set before running) ----------------------
+    CompileOptions options;      //!< seed, thresholds, memo hooks, ...
+    /** Target chip; nullptr compiles device-agnostically. */
+    const backend::Backend *backend = nullptr;
+    /** Per-edge gate-set tables (required by the reconfigure pass). */
+    const backend::ReconfigureResult *reconfig = nullptr;
+    /** Device coupling used when no concrete backend is set. */
+    uarch::Coupling coupling = uarch::Coupling::xy(1.0);
+    /** Base schedule options (strategy may be overridden per pass). */
+    isa::ScheduleOptions scheduleOptions;
+
+    // ----- evolving artifacts ------------------------------------------
+    /** Current logical-wire artifact (seeded with the input). */
+    circuit::Circuit circuit;
+    /** Logical qubit q of the input ends on wire finalPermutation[q]. */
+    std::vector<int> finalPermutation;
+    circuit::Circuit routed;     //!< physical circuit (iff hasRouted)
+    /** Logical q ends on physical wire finalLayout[q] (iff hasRouted). */
+    std::vector<int> finalLayout;
+    bool hasRouted = false;
+    isa::Program program;        //!< timed program (iff hasProgram)
+    bool hasProgram = false;
+    Metrics metrics;             //!< incl. the per-pass trace
+
+    /** The artifact later stages operate on: routed once it exists. */
+    const circuit::Circuit &active() const
+    {
+        return hasRouted ? routed : circuit;
+    }
+
+    /** Seed a unit: circuit = input, identity permutation. */
+    static CompilationUnit forInput(circuit::Circuit in,
+                                    CompileOptions opts = {});
+};
+
+/** A first-class compilation stage. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    /** Registry token, echoed into PassTrace::pass. */
+    virtual std::string name() const = 0;
+    virtual void run(CompilationUnit &unit) = 0;
+};
+
+/** Runs an ordered pass list over a unit, tracing every pass. */
+class PassManager
+{
+  public:
+    void add(std::unique_ptr<Pass> pass);
+
+    std::size_t size() const { return passes_.size(); }
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Run every pass in order. Each pass appends one PassTrace to
+     * unit.metrics.passes (wall time, gate/#2Q before/after on the
+     * active artifact, makespan known so far).
+     */
+    void run(CompilationUnit &unit) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/** A registered pass, for --list-passes and spec validation. */
+struct PassInfo
+{
+    std::string token;    //!< spec name ("synth", "schedule", ...)
+    std::string summary;  //!< one-line description
+    /** Accepted ":arg" values; empty when the pass takes none. */
+    std::vector<std::string> args;
+};
+
+/** All registered passes, in canonical listing order. */
+const std::vector<PassInfo> &passRegistry();
+
+/**
+ * Instantiate a registered pass from a spec token (optionally
+ * "name:arg"). Returns nullptr and fills `error` for an unknown name
+ * or an argument the pass does not accept.
+ */
+std::unique_ptr<Pass> makePass(const std::string &token,
+                               std::string &error);
+
+/** A parsed --pipeline value. */
+struct PipelineSpec
+{
+    enum class Kind
+    {
+        Eff,     //!< the named ReQISC-Eff compile pipeline
+        Full,    //!< the named ReQISC-Full compile pipeline
+        Custom,  //!< explicit pass list
+    };
+    Kind kind = Kind::Full;
+    std::vector<std::string> passes;  //!< tokens; filled for Custom
+};
+
+/**
+ * Parse "eff", "full" or "custom:tok,tok,...". Returns false and
+ * fills `error` (unknown name, empty list, unknown pass token or
+ * pass argument) without touching `out` semantics on failure.
+ */
+bool parsePipelineSpec(const std::string &text, PipelineSpec &out,
+                       std::string &error);
+
+/**
+ * The compile-stage pass list of a named pipeline under the given
+ * options — what reqiscEff/reqiscFull run. The list is a pure
+ * function of the options: the Fig-14 dagCompacting ablation is the
+ * `hier-synth` -> `hier-synth:nc` edit, variational mode swaps the
+ * final `lower` for `rebase` and drops `mirror`.
+ */
+std::vector<std::string>
+compilePassList(PipelineSpec::Kind kind, const CompileOptions &opts);
+
+/**
+ * Build a manager from a spec: named specs expand through
+ * compilePassList (compile stage only — the service appends its
+ * route/estimate/reconfigure/schedule stages); custom specs are
+ * taken literally. Returns false and fills `error` on an invalid
+ * token.
+ */
+bool buildPipeline(const PipelineSpec &spec,
+                   const CompileOptions &opts, PassManager &pm,
+                   std::string &error);
+
+} // namespace reqisc::compiler
+
+#endif // REQISC_COMPILER_PASS_MANAGER_HH

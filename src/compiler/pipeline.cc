@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "circuit/lower.hh"
+#include "compiler/pass_manager.hh"
 #include "compiler/passes.hh"
-#include "synth/instantiate.hh"
-#include "synth/synthesis.hh"
 #include "synth/templates.hh"
 
 namespace reqisc::compiler
@@ -62,39 +60,28 @@ templateSynthesis(const circuit::Circuit &c)
 namespace
 {
 
+/**
+ * Both named pipelines are one code path now: expand the named
+ * compile-stage pass list under the options and run it over a fresh
+ * unit. The wrappers keep the historical CompileResult shape; the
+ * per-pass trace is available through the CompilationUnit /
+ * service::JobResult route.
+ */
 CompileResult
-finishPipeline(Circuit c, const CompileOptions &opts)
+runNamedPipeline(PipelineSpec::Kind kind,
+                 const circuit::Circuit &input,
+                 const CompileOptions &opts)
 {
+    CompilationUnit unit = CompilationUnit::forInput(input, opts);
+    PassManager pm;
+    std::string error;
+    PipelineSpec spec;
+    spec.kind = kind;
+    buildPipeline(spec, opts, pm, error);  // named lists never fail
+    pm.run(unit);
     CompileResult res;
-    std::vector<int> perm(c.numQubits());
-    for (int q = 0; q < c.numQubits(); ++q)
-        perm[q] = q;
-    if (opts.applyMirroring && !opts.variationalMode)
-        c = mirrorNearIdentity(c, perm, opts.mirrorThreshold);
-    if (opts.variationalMode) {
-        // Fixed-basis re-expression: one calibrated 2Q gate, all
-        // variational freedom in the 1Q layers.
-        Circuit fixed(c.numQubits());
-        for (const Gate &g : c) {
-            if (g.is2Q() && (g.op == Op::U4 || g.op == Op::CAN)) {
-                auto gates = synth::su4ToFixedBasis(
-                    g.qubits[0], g.qubits[1], g.matrix(),
-                    opts.variationalBasis);
-                if (!gates.empty()) {
-                    for (Gate &e : gates)
-                        fixed.add(std::move(e));
-                    continue;
-                }
-            }
-            fixed.add(g);
-        }
-        c = std::move(fixed);
-        res.circuit = std::move(c);
-        res.finalPermutation = std::move(perm);
-        return res;
-    }
-    res.circuit = circuit::expandToCanU3(c);
-    res.finalPermutation = std::move(perm);
+    res.circuit = std::move(unit.circuit);
+    res.finalPermutation = std::move(unit.finalPermutation);
     return res;
 }
 
@@ -103,73 +90,13 @@ finishPipeline(Circuit c, const CompileOptions &opts)
 CompileResult
 reqiscEff(const circuit::Circuit &input, const CompileOptions &opts)
 {
-    Circuit c = circuit::decomposeMcx(input);
-    c = templateSynthesis(c);
-    c = groupPauliRotations(c);
-    c = fuse2QBlocks(fuse1Q(c));
-    return finishPipeline(std::move(c), opts);
+    return runNamedPipeline(PipelineSpec::Kind::Eff, input, opts);
 }
 
 CompileResult
 reqiscFull(const circuit::Circuit &input, const CompileOptions &opts)
 {
-    Circuit c = circuit::decomposeMcx(input);
-    c = templateSynthesis(c);
-    c = groupPauliRotations(c);
-    c = fuse2QBlocks(fuse1Q(c));
-    if (opts.dagCompacting) {
-        c = hierarchicalSynthesis(c, opts.mTh, opts.synthTol,
-                                  opts.seed, opts.synthMemo);
-    } else {
-        // Ablation variant (ReQISC-NC): skip the compacting pass but
-        // keep partition + approximate synthesis.
-        std::vector<Partition3Q> blocks = partition3Q(c);
-        Circuit nc(input.numQubits());
-        for (const auto &b : blocks)
-            for (const Gate &g : b.gates)
-                nc.add(g);
-        // Reuse hierarchicalSynthesis' block resynthesis by calling
-        // it with compacting already skipped: emulate by synthesizing
-        // each block here.
-        c = std::move(nc);
-        Circuit out(input.numQubits());
-        for (const auto &b : partition3Q(c)) {
-            if (b.count2Q <= opts.mTh || b.qubits.size() < 3) {
-                for (const Gate &g : b.gates)
-                    out.add(g);
-                continue;
-            }
-            Matrix u = Matrix::identity(8);
-            auto local = [&](const Gate &g) {
-                std::vector<int> idx;
-                for (int q : g.qubits)
-                    idx.push_back(static_cast<int>(
-                        std::find(b.qubits.begin(), b.qubits.end(),
-                                  q) - b.qubits.begin()));
-                return idx;
-            };
-            for (const Gate &g : b.gates)
-                u = synth::liftGate(g.matrix(), local(g), 3) * u;
-            synth::SynthesisOptions sopts;
-            sopts.tol = opts.synthTol;
-            sopts.maxBlocks = std::min(7, b.count2Q - 1);
-            sopts.descending = true;
-            sopts.seed = opts.seed;
-            sopts.memo = opts.synthMemo;
-            synth::SynthesisResult r =
-                synth::synthesizeBlock(u, b.qubits, sopts);
-            if (r.success &&
-                static_cast<int>(r.blockCount) < b.count2Q) {
-                for (const Gate &g : r.gates)
-                    out.add(g);
-            } else {
-                for (const Gate &g : b.gates)
-                    out.add(g);
-            }
-        }
-        c = fuse2QBlocks(fuse1Q(out));
-    }
-    return finishPipeline(std::move(c), opts);
+    return runNamedPipeline(PipelineSpec::Kind::Full, input, opts);
 }
 
 } // namespace reqisc::compiler

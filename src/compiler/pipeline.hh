@@ -67,11 +67,16 @@ struct CompileResult
  */
 circuit::Circuit templateSynthesis(const circuit::Circuit &c);
 
-/** The ReQISC-Eff pipeline. */
+/**
+ * The ReQISC-Eff pipeline. Thin compatibility wrapper: expands the
+ * named Eff pass list (compiler/pass_manager.hh) and runs it through
+ * the PassManager — bit-identical to the historical monolithic
+ * implementation for every (input, options, seed).
+ */
 CompileResult reqiscEff(const circuit::Circuit &input,
                         const CompileOptions &opts = {});
 
-/** The ReQISC-Full pipeline. */
+/** The ReQISC-Full pipeline (wrapper, see reqiscEff). */
 CompileResult reqiscFull(const circuit::Circuit &input,
                          const CompileOptions &opts = {});
 

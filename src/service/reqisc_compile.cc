@@ -30,6 +30,7 @@
 #include "backend/backend.hh"
 #include "backend/json.hh"
 #include "backend/reconfigure.hh"
+#include "compiler/pass_manager.hh"
 #include "isa/assembly.hh"
 #include "isa/schedule.hh"
 #include "service/service.hh"
@@ -50,6 +51,7 @@ struct CliOptions
     std::string suite;           //!< "", "small" or "medium"
     std::string backendPath;     //!< chip JSON file; "" = no backend
     service::Pipeline pipeline = service::Pipeline::Full;
+    std::string pipelineSpec;    //!< set for --pipeline custom:...
     int jobs = 1;
     int repeat = 1;
     unsigned seed = 777;
@@ -69,7 +71,16 @@ printUsage(std::ostream &os)
     os << "usage: reqisc-compile [options] [file.qasm ...]\n"
           "\n"
           "options:\n"
-          "  --pipeline eff|full   pipeline to run (default: full)\n"
+          "  --pipeline SPEC       pipeline to run: eff, full or an\n"
+          "                        explicit pass list\n"
+          "                        custom:pass[,pass...] e.g.\n"
+          "                        custom:synth,mirror,route,"
+          "schedule:asap\n"
+          "                        (default: full)\n"
+          "  --list-passes         print the registered passes and "
+          "the pass\n"
+          "                        lists of the named pipelines, "
+          "then exit\n"
           "  --jobs N              worker threads; 0 = all cores "
           "(default: 1)\n"
           "  --repeat K            submit each input K times "
@@ -95,6 +106,40 @@ printUsage(std::ostream &os)
           "  --help                this text\n";
 }
 
+void
+printPassList(std::ostream &os)
+{
+    os << "registered passes (use in --pipeline "
+          "custom:pass[,pass...]):\n";
+    for (const compiler::PassInfo &info :
+         compiler::passRegistry()) {
+        std::string token = info.token;
+        if (!info.args.empty()) {
+            token += "[:";
+            for (std::size_t i = 0; i < info.args.size(); ++i)
+                token += (i ? "|" : "") + info.args[i];
+            token += "]";
+        }
+        os << "  " << token << "\n      " << info.summary << "\n";
+    }
+    os << "\nnamed pipelines (compile stage, default options):\n";
+    const compiler::CompileOptions defaults;
+    for (const auto kind : {compiler::PipelineSpec::Kind::Eff,
+                            compiler::PipelineSpec::Kind::Full}) {
+        os << (kind == compiler::PipelineSpec::Kind::Eff
+                   ? "  eff:  "
+                   : "  full: ");
+        const auto list = compiler::compilePassList(kind, defaults);
+        for (std::size_t i = 0; i < list.size(); ++i)
+            os << (i ? "," : "") << list[i];
+        os << "\n";
+    }
+    os << "\nthe service appends route (with --backend), estimate,\n"
+          "reconfigure (with --backend) and schedule (with "
+          "--schedule)\nto the named pipelines; custom lists run "
+          "literally (plus a\ntrailing estimate when absent).\n";
+}
+
 bool
 parseArgs(int argc, char **argv, CliOptions &cli)
 {
@@ -118,15 +163,24 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             const char *v = value(i);
             if (!v)
                 return false;
-            if (std::string(v) == "eff") {
-                cli.pipeline = service::Pipeline::Eff;
-            } else if (std::string(v) == "full") {
-                cli.pipeline = service::Pipeline::Full;
-            } else {
-                std::cerr << "reqisc-compile: unknown pipeline '"
-                          << v << "'\n";
+            compiler::PipelineSpec spec;
+            std::string error;
+            if (!compiler::parsePipelineSpec(v, spec, error)) {
+                std::cerr << "reqisc-compile: " << error << "\n";
                 return false;
             }
+            if (spec.kind == compiler::PipelineSpec::Kind::Custom) {
+                cli.pipelineSpec = v;
+            } else {
+                cli.pipelineSpec.clear();
+                cli.pipeline =
+                    spec.kind == compiler::PipelineSpec::Kind::Eff
+                        ? service::Pipeline::Eff
+                        : service::Pipeline::Full;
+            }
+        } else if (arg == "--list-passes") {
+            printPassList(std::cout);
+            std::exit(0);
         } else if (arg == "--jobs") {
             const char *v = value(i);
             if (!v)
@@ -239,6 +293,35 @@ printCacheBlock(const char *label,
                   << " more classes\n";
 }
 
+/**
+ * --stats: where compile time goes, aggregated over the batch.
+ * Passes appear in first-execution order; `share` is each pass's
+ * fraction of the total in-pass wall time.
+ */
+void
+printPassStats(const std::vector<service::JobResult> &results)
+{
+    std::vector<const compiler::Metrics *> jobs;
+    for (const service::JobResult &r : results)
+        if (r.ok)
+            jobs.push_back(&r.metrics);
+    const std::vector<compiler::PassAggregate> agg =
+        compiler::aggregatePassTraces(jobs);
+    if (agg.empty())
+        return;
+    double total = 0.0;
+    for (const compiler::PassAggregate &a : agg)
+        total += a.seconds;
+    std::printf("\nper-pass timings (batch aggregate):\n");
+    std::printf("    %-14s %5s %10s %8s %8s\n", "pass", "runs",
+                "total ms", "share", "d#2Q");
+    for (const compiler::PassAggregate &a : agg)
+        std::printf("    %-14s %5d %10.2f %7.1f%% %+8lld\n",
+                    a.pass.c_str(), a.runs, 1e3 * a.seconds,
+                    total > 0.0 ? 100.0 * a.seconds / total : 0.0,
+                    a.delta2Q);
+}
+
 } // namespace
 
 int
@@ -284,6 +367,7 @@ main(int argc, char **argv)
     }
     for (service::CompileRequest &req : batch) {
         req.pipeline = cli.pipeline;
+        req.pipelineSpec = cli.pipelineSpec;
         req.options.seed = cli.seed;
         req.options.variationalMode = cli.variational;
         req.calibrate = cli.calibrate;
@@ -350,7 +434,24 @@ main(int argc, char **argv)
                     << fmtDouble(r.metrics.synthCache.hitRate(), 4)
                     << ", \"pulseCacheHitRate\": "
                     << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
-                    << ", \"seconds\": " << fmtDouble(r.seconds, 4);
+                    << ", \"seconds\": " << fmtDouble(r.seconds, 4)
+                    << ", \"passes\": [";
+                for (std::size_t p = 0;
+                     p < r.metrics.passes.size(); ++p) {
+                    const compiler::PassTrace &t =
+                        r.metrics.passes[p];
+                    std::cout
+                        << (p ? ", " : "") << "{\"name\": \""
+                        << jsonEscape(t.pass) << "\", \"seconds\": "
+                        << fmtDouble(t.seconds, 6)
+                        << ", \"gatesBefore\": " << t.gatesBefore
+                        << ", \"gatesAfter\": " << t.gatesAfter
+                        << ", \"count2QBefore\": "
+                        << t.count2QBefore << ", \"count2QAfter\": "
+                        << t.count2QAfter << ", \"makespan\": "
+                        << fmtDouble(t.makespanAfter, 4) << "}";
+                }
+                std::cout << "]";
                 if (r.metrics.backend.used) {
                     const auto &b = r.metrics.backend;
                     std::cout
@@ -365,9 +466,17 @@ main(int argc, char **argv)
                 }
                 if (r.metrics.schedule.scheduled) {
                     const auto &s = r.metrics.schedule;
+                    // A custom schedule:X token overrides the
+                    // --schedule strategy; report what actually ran.
+                    std::string strat =
+                        isa::strategyName(cli.strategy);
+                    for (const compiler::PassTrace &t :
+                         r.metrics.passes)
+                        if (t.pass.rfind("schedule:", 0) == 0)
+                            strat = t.pass.substr(9);
                     std::cout
                         << ", \"schedule\": {\"strategy\": \""
-                        << isa::strategyName(cli.strategy)
+                        << strat
                         << "\", \"makespan\": "
                         << fmtDouble(s.makespan, 4)
                         << ", \"serialDuration\": "
@@ -451,10 +560,15 @@ main(int argc, char **argv)
                             e.score);
             std::printf("\n");
         }
+        // Purely result-driven (not cli.schedule) so header and
+        // rows always agree, whatever the pipeline ran.
+        bool any_scheduled = false;
+        for (const service::JobResult &r : results)
+            any_scheduled |= r.ok && r.metrics.schedule.scheduled;
         std::printf("%-28s %6s %7s %9s %8s %7s %7s %8s", "circuit",
                     "#2Q", "2Q-dep", "duration", "distSU4", "synth%",
                     "pulse%", "ms");
-        if (cli.schedule)
+        if (any_scheduled)
             std::printf(" %9s %5s %8s", "makespan", "par", "idle");
         if (svc.backend())
             std::printf(" %5s %9s %9s", "swaps", "F reconf",
@@ -479,7 +593,10 @@ main(int argc, char **argv)
                             r.metrics.schedule.makespan,
                             r.metrics.schedule.parallelism,
                             r.metrics.schedule.idleTime);
-            if (r.metrics.backend.used)
+            // Same gate as the header above, so rows stay aligned
+            // even for custom pipelines that skip route/reconfigure
+            // (missing stages show as zeros).
+            if (svc.backend())
                 std::printf(" %5d %9.6f %9.6f",
                             r.metrics.backend.routedSwaps,
                             r.metrics.backend.fidelityReconfigured,
@@ -512,6 +629,7 @@ main(int argc, char **argv)
             printCacheBlock("pulse cache", pulse_stats,
                             svc.pulseCacheSize(),
                             svc.pulseCachePerClass(), true);
+            printPassStats(results);
         }
     }
 

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/qasm.hh"
-#include "route/sabre.hh"
+#include "compiler/pass_manager.hh"
 
 namespace reqisc::service
 {
@@ -241,82 +241,87 @@ CompileService::runJob(const Job &job)
     res.name = job.req.name;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        const circuit::Circuit input =
+        circuit::Circuit input =
             job.req.qasm.empty() ? job.req.input
                                  : circuit::fromQasm(job.req.qasm);
         compiler::CompileOptions copts = job.req.options;
         CountingBlockMemo synthMemo(synthCache_.get());
         if (synthCache_)
             copts.synthMemo = &synthMemo;
-        compiler::CompileResult compiled =
-            job.req.pipeline == Pipeline::Eff
-                ? compiler::reqiscEff(input, copts)
-                : compiler::reqiscFull(input, copts);
-        if (opts_.backend) {
-            // Backend-aware path: route onto the chip, then time,
-            // schedule and score everything against the per-edge
-            // calibration.
-            const backend::Backend &chip = *opts_.backend;
-            route::RouteOptions ropts;
-            ropts.mirroring = true;
-            ropts.seed = copts.seed;
-            const route::RouteResult rr = route::sabreRoute(
-                compiled.circuit, chip.topology(), ropts);
-            // SU(4)-ISA convention: an inserted SWAP is one Can gate.
-            circuit::Circuit phys(rr.circuit.numQubits());
-            for (const circuit::Gate &g : rr.circuit) {
-                if (g.op == circuit::Op::SWAP)
-                    phys.add(circuit::Gate::can(
-                        g.qubits[0], g.qubits[1],
-                        weyl::WeylCoord::swap()));
-                else
-                    phys.add(g);
-            }
-            const isa::DurationModel durations =
-                chip.durationModel();
-            res.metrics = compiler::evaluate(
-                phys, [&durations](const circuit::Gate &g) {
-                    return g.numQubits() < 2 ? 0.0
-                                             : durations.gate(g);
-                });
-            res.metrics.backend.used = true;
-            res.metrics.backend.routedSwaps = rr.swapsInserted;
-            res.metrics.backend.routedSwapsAbsorbed =
-                rr.swapsAbsorbed;
-            res.metrics.backend.fidelityReconfigured =
-                backend::estimateFidelity(phys, chip,
-                                          reconfig_.table);
-            res.metrics.backend.fidelityUniform =
-                backend::estimateFidelity(phys, chip,
-                                          reconfig_.uniformTable);
-            // Logical q -> compiled wire -> physical wire.
-            res.finalLayout.resize(
-                compiled.finalPermutation.size());
-            for (size_t q = 0;
-                 q < compiled.finalPermutation.size(); ++q)
-                res.finalLayout[q] = rr.finalLayout[static_cast<
-                    size_t>(compiled.finalPermutation[q])];
-            if (job.req.schedule) {
-                isa::ScheduleOptions sopts =
-                    job.req.scheduleOptions;
-                sopts.durations = durations;
-                sopts.topology = &chip.topology();
-                res.program = isa::schedule(phys, sopts);
-                res.metrics.schedule = res.program.stats();
-            }
-            res.routed = std::move(phys);
+
+        // Resolve which pass list this job runs: the explicit spec
+        // when one is given, the legacy enum otherwise.
+        compiler::PipelineSpec spec;
+        std::string error;
+        if (!job.req.pipelineSpec.empty()) {
+            if (!compiler::parsePipelineSpec(job.req.pipelineSpec,
+                                             spec, error))
+                throw std::invalid_argument(error);
         } else {
-            res.metrics = compiler::evaluate(
-                compiled.circuit,
-                compiler::reqiscDurationModel(opts_.coupling));
-            if (job.req.schedule) {
-                isa::ScheduleOptions sopts =
-                    job.req.scheduleOptions;
-                sopts.durations.coupling = opts_.coupling;
-                res.program = isa::schedule(compiled.circuit, sopts);
-                res.metrics.schedule = res.program.stats();
-            }
+            spec.kind = job.req.pipeline == Pipeline::Eff
+                            ? compiler::PipelineSpec::Kind::Eff
+                            : compiler::PipelineSpec::Kind::Full;
         }
+
+        // Build unit, assemble the pipeline, run it, copy out.
+        compiler::CompilationUnit unit =
+            compiler::CompilationUnit::forInput(std::move(input),
+                                                copts);
+        unit.backend = opts_.backend.get();
+        unit.reconfig = opts_.backend ? &reconfig_ : nullptr;
+        unit.coupling = opts_.coupling;
+        unit.scheduleOptions = job.req.scheduleOptions;
+
+        compiler::PassManager pm;
+        if (spec.kind == compiler::PipelineSpec::Kind::Custom) {
+            // Custom lists run literally, except that requested
+            // stages missing from the list are appended: `estimate`
+            // always (so JobResult metrics are filled), `schedule`
+            // when the request asked for a program.
+            compiler::PipelineSpec literal = spec;
+            bool has_estimate = false, has_schedule = false;
+            for (const std::string &tok : literal.passes) {
+                has_estimate |= tok == "estimate";
+                has_schedule |= tok == "schedule" ||
+                                tok.rfind("schedule:", 0) == 0;
+            }
+            if (!has_estimate)
+                literal.passes.push_back("estimate");
+            if (job.req.schedule && !has_schedule)
+                literal.passes.push_back("schedule");
+            if (!compiler::buildPipeline(literal, copts, pm, error))
+                throw std::invalid_argument(error);
+        } else {
+            // Named pipelines: compile stage + the service stages
+            // (the former hand-sequenced route -> estimate ->
+            // reconfigure -> schedule tail of this function).
+            compiler::PipelineSpec staged = spec;
+            staged.kind = compiler::PipelineSpec::Kind::Custom;
+            staged.passes = compiler::compilePassList(
+                spec.kind, copts);
+            if (opts_.backend)
+                staged.passes.push_back("route");
+            staged.passes.push_back("estimate");
+            if (opts_.backend)
+                staged.passes.push_back("reconfigure");
+            if (job.req.schedule)
+                staged.passes.push_back("schedule");
+            if (!compiler::buildPipeline(staged, copts, pm, error))
+                throw std::invalid_argument(error);
+        }
+        pm.run(unit);
+
+        res.metrics = std::move(unit.metrics);
+        if (unit.hasRouted) {
+            res.routed = std::move(unit.routed);
+            res.finalLayout = std::move(unit.finalLayout);
+        }
+        if (unit.hasProgram)
+            res.program = std::move(unit.program);
+        res.compiled.circuit = std::move(unit.circuit);
+        res.compiled.finalPermutation =
+            std::move(unit.finalPermutation);
+
         if (synthCache_)
             res.metrics.synthCache = synthMemo.counters();
         // On a heterogeneous chip the reconfigured table *is* the
@@ -328,14 +333,13 @@ CompileService::runJob(const Job &job)
             CountingPulseMemo pulseMemo(pulseCache_.get());
             const uarch::CalibrationPlan plan =
                 uarch::planCalibration(
-                    compiled.circuit, opts_.coupling,
+                    res.compiled.circuit, opts_.coupling,
                     opts_.pulseClusterTol,
                     pulseCache_ ? &pulseMemo : nullptr);
             res.unsolvedClasses = plan.unsolved;
             if (pulseCache_)
                 res.metrics.pulseCache = pulseMemo.counters();
         }
-        res.compiled = std::move(compiled);
         res.ok = true;
     } catch (const std::exception &e) {
         res.ok = false;

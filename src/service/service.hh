@@ -94,6 +94,19 @@ struct CompileRequest
     circuit::Circuit input;       //!< used unless `qasm` is set
     std::string qasm;             //!< parsed in the worker when set
     Pipeline pipeline = Pipeline::Full;
+    /**
+     * Pipeline spec overriding `pipeline` when non-empty: "eff",
+     * "full" or "custom:pass,pass,..." (the pass-manager grammar,
+     * compiler/pass_manager.hh). Custom lists run literally, except
+     * that requested stages missing from the list are appended: an
+     * `estimate` pass always (so JobResult metrics are evaluated)
+     * and a `schedule` pass when `schedule` below is set; named
+     * specs get the service stages (route on a backend, estimate,
+     * reconfigure, schedule when requested) appended automatically.
+     * A malformed spec is captured as the job's error like any
+     * other per-job failure.
+     */
+    std::string pipelineSpec;
     compiler::CompileOptions options;
     /** Build the per-circuit calibration plan (shared pulse cache). */
     bool calibrate = true;
@@ -116,7 +129,8 @@ struct JobResult
     bool ok = false;
     std::string error;
     compiler::CompileResult compiled;
-    compiler::Metrics metrics;       //!< incl. per-job cache counters
+    /** Incl. per-job cache counters and the per-pass trace. */
+    compiler::Metrics metrics;
     /**
      * Physical circuit on the backend topology (SWAPs fused into
      * Can gates); empty unless the service has a backend. Logical
