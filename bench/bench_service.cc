@@ -23,7 +23,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common.hh"
@@ -116,11 +118,76 @@ main(int argc, char **argv)
         for (const auto &a : agg)
             total += a.seconds;
 
+        // ---- Cold-path metrics ------------------------------------
+        // Where the time actually goes when nothing is memoized yet:
+        // (a) intra-job parallel block resynthesis — hier-synth pass
+        // seconds at blockWorkers 1 vs 4 on a cache-less single pass
+        // over the suite (on a 1-core runner the ratio degrades
+        // gracefully toward 1x, hence the loose baseline);
+        // (b) persistent caches — the same pass compiled by a fresh
+        // service against an empty --cache-dir and again by a second
+        // service warm-starting from what the first one saved.
+        const auto hierSeconds =
+            [](const std::vector<service::JobResult> &rs) {
+                double s = 0.0;
+                for (const auto &r : rs)
+                    if (r.ok)
+                        for (const auto &t : r.metrics.passes)
+                            if (t.pass == "hier-synth")
+                                s += t.seconds;
+                return s;
+            };
+        double hier_serial = 0.0, hier_parallel = 0.0;
+        for (int bw : {1, 4}) {
+            service::ServiceOptions po;
+            po.threads = 1;
+            po.enableSynthCache = false;
+            po.enablePulseCache = false;
+            po.blockWorkers = bw;
+            service::CompileService svc(po);
+            std::vector<service::JobResult> rs;
+            runBatch(svc, workload(1), &rs);
+            (bw == 1 ? hier_serial : hier_parallel) = hierSeconds(rs);
+        }
+
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        const fs::path cache_dir =
+            fs::temp_directory_path() / "reqisc_bench_cache";
+        fs::remove_all(cache_dir, ec);
+        double persist_cold = 0.0, persist_warm = 0.0;
+        double persist_cold_hier = 0.0, persist_warm_hier = 0.0;
+        for (int run = 0; run < 2; ++run) {
+            service::ServiceOptions po;
+            po.threads = 1;
+            po.cacheDir = cache_dir.string();
+            service::CompileService svc(po);
+            std::vector<service::JobResult> rs;
+            const double secs = runBatch(svc, workload(1), &rs);
+            (run == 0 ? persist_cold : persist_warm) = secs;
+            (run == 0 ? persist_cold_hier : persist_warm_hier) =
+                hierSeconds(rs);
+            // The destructor saves both caches into cache_dir, which
+            // is what the second iteration warm-starts from.
+        }
+        fs::remove_all(cache_dir, ec);
+
         std::printf("{\n  \"circuits\": %zu,\n", batch_size);
         std::printf("  \"coldSeconds\": %.6f,\n", cold_secs);
         std::printf("  \"warmSeconds\": %.6f,\n", warm_secs);
         std::printf("  \"memoSpeedup\": %.6f,\n",
                     warm_secs > 0.0 ? cold_secs / warm_secs : 0.0);
+        std::printf("  \"parallelSynthSpeedup\": %.6f,\n",
+                    hier_parallel > 0.0 ? hier_serial / hier_parallel
+                                        : 0.0);
+        std::printf("  \"persistentWarmSpeedup\": %.6f,\n",
+                    persist_warm > 0.0 ? persist_cold / persist_warm
+                                       : 0.0);
+        std::printf(
+            "  \"persistentHierSynthSpeedup\": %.6f,\n",
+            persist_warm_hier > 0.0
+                ? persist_cold_hier / persist_warm_hier
+                : 0.0);
         std::printf("  \"passSecondsTotal\": %.6f,\n", total);
         std::printf("  \"passes\": {\n");
         for (std::size_t i = 0; i < agg.size(); ++i) {

@@ -136,6 +136,38 @@ def self_check():
         ({"metrics": [dict(good, maxRegression="loose")]},
          current_ok, 1, "maxRegression must be a positive number"),
     ]
+    # The cold-path service metrics (parallel block resynthesis and
+    # persistent-cache warm start) ship as top-level ratio keys; pin
+    # the guard semantics their baselines rely on.
+    persist = {"name": "persistentHierSynthSpeedup",
+               "bench": "service",
+               "key": "persistentHierSynthSpeedup",
+               "baseline": 7.0, "maxRegression": 3.5,
+               "requirePositive": True}
+    par = {"name": "parallelSynthSpeedup", "bench": "service",
+           "key": "parallelSynthSpeedup", "baseline": 1.0,
+           "maxRegression": 20.0, "requirePositive": True}
+    scenarios += [
+        # Healthy cold-path run: well above the 2x floor.
+        ({"metrics": [persist]},
+         {"service": {"persistentHierSynthSpeedup": 7.5}}, 0, ""),
+        # A warm run that stops being >=2x faster is a gross
+        # regression (the floor is baseline 7.0 / maxRegression 3.5).
+        ({"metrics": [persist]},
+         {"service": {"persistentHierSynthSpeedup": 1.5}}, 1,
+         "gross regression"),
+        # A build that stops emitting the key fails, never skips.
+        ({"metrics": [persist]}, {"service": {}}, 1,
+         "missing from the service output"),
+        # The parallel ratio may degrade toward ~1.0 on a 1-core
+        # runner without tripping the loose floor...
+        ({"metrics": [par]},
+         {"service": {"parallelSynthSpeedup": 0.95}}, 0, ""),
+        # ... but a zero (hier-synth vanished from the trace) is a
+        # sign flip even under the loosest maxRegression.
+        ({"metrics": [par]},
+         {"service": {"parallelSynthSpeedup": 0.0}}, 1, "sign flip"),
+    ]
     for i, (baselines, current, want, snippet) in enumerate(scenarios):
         buf = io.StringIO()
         try:

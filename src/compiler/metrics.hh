@@ -113,6 +113,13 @@ struct PassTrace
     int count2QBefore = 0;
     int count2QAfter = 0;
     double makespanAfter = 0.0;  //!< Metrics::schedule.makespan so far
+    /**
+     * Free-form pass annotation (CompilationUnit::passNote), e.g.
+     * "workers=4" from hier-synth when block resynthesis ran on a
+     * task pool. Purely informational: never part of the determinism
+     * contract's compared artifacts.
+     */
+    std::string note;
 };
 
 /** Circuit-level evaluation metrics. */

@@ -53,11 +53,14 @@ PassManager::run(CompilationUnit &unit) const
         trace.gatesBefore =
             static_cast<int>(unit.active().size());
         trace.count2QBefore = unit.active().count2Q();
+        unit.passNote.clear();
         const auto t0 = std::chrono::steady_clock::now();
         pass->run(unit);
         trace.seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
+        trace.note = std::move(unit.passNote);
+        unit.passNote.clear();
         trace.gatesAfter = static_cast<int>(unit.active().size());
         trace.count2QAfter = unit.active().count2Q();
         trace.makespanAfter = unit.metrics.schedule.makespan;
@@ -141,7 +144,12 @@ class HierarchicalSynthPass final : public Pass
         if (compacting_) {
             u.circuit = hierarchicalSynthesis(
                 u.circuit, opts.mTh, opts.synthTol, opts.seed,
-                opts.synthMemo);
+                opts.synthMemo, opts.synthPool);
+            u.passNote =
+                "workers=" +
+                std::to_string(opts.synthPool
+                                   ? opts.synthPool->workers()
+                                   : 1);
             return;
         }
         // Ablation variant (ReQISC-NC): skip the compacting pass but

@@ -85,6 +85,13 @@ struct CompilationUnit
     isa::Program program;        //!< timed program (iff hasProgram)
     bool hasProgram = false;
     Metrics metrics;             //!< incl. the per-pass trace
+    /**
+     * Scratch channel a pass may fill during run() to annotate its
+     * own trace (copied into PassTrace::note and cleared by the
+     * manager around every pass). hier-synth reports its effective
+     * block-worker count here.
+     */
+    std::string passNote;
 
     /** The artifact later stages operate on: routed once it exists. */
     const circuit::Circuit &active() const

@@ -374,18 +374,30 @@ dagCompact(const Circuit &input, double tol)
 
 Circuit
 hierarchicalSynthesis(const Circuit &input, int m_th, double tol,
-                      unsigned seed, synth::BlockMemo *memo)
+                      unsigned seed, synth::BlockMemo *memo,
+                      synth::BlockPool *pool)
 {
     Circuit fused = fuse2QBlocks(fuse1Q(input));
     Circuit compacted = dagCompact(fused);
     std::vector<Partition3Q> blocks = partition3Q(compacted);
-    Circuit out(input.numQubits());
-    for (const auto &b : blocks) {
-        if (b.count2Q <= m_th || b.qubits.size() < 3) {
-            for (const Gate &g : b.gates)
-                out.add(g);
+
+    // Collect the resynthesis targets first: each solve is a pure
+    // function of (target unitary, options), independent of every
+    // other block, so the set can fan out across a shared BlockPool.
+    // Results land in index-addressed slots and are stitched back in
+    // block order below — the emitted gate stream is bit-identical
+    // to the serial path at every worker count.
+    struct Target
+    {
+        std::size_t block;
+        Matrix u;
+        synth::SynthesisOptions opts;
+    };
+    std::vector<Target> targets;
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        const auto &b = blocks[bi];
+        if (b.count2Q <= m_th || b.qubits.size() < 3)
             continue;
-        }
         // Build the block's 8x8 unitary in local indices.
         Matrix u = Matrix::identity(8);
         auto local = [&](const Gate &g) {
@@ -404,8 +416,36 @@ hierarchicalSynthesis(const Circuit &input, int m_th, double tol,
         opts.descending = true;
         opts.seed = seed;
         opts.memo = memo;
-        synth::SynthesisResult r =
-            synth::synthesizeBlock(u, b.qubits, opts);
+        targets.push_back(Target{bi, std::move(u), opts});
+    }
+
+    std::vector<synth::SynthesisResult> results(targets.size());
+    auto solveOne = [&](std::size_t t) {
+        results[t] = synth::synthesizeBlock(
+            targets[t].u, blocks[targets[t].block].qubits,
+            targets[t].opts);
+    };
+    if (pool && pool->helperThreads() > 0 && targets.size() > 1) {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(targets.size());
+        for (std::size_t t = 0; t < targets.size(); ++t)
+            tasks.push_back([&solveOne, t] { solveOne(t); });
+        pool->run(std::move(tasks));
+    } else {
+        for (std::size_t t = 0; t < targets.size(); ++t)
+            solveOne(t);
+    }
+
+    Circuit out(input.numQubits());
+    std::size_t next = 0;  // walks targets/results in block order
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        const auto &b = blocks[bi];
+        if (next >= targets.size() || targets[next].block != bi) {
+            for (const Gate &g : b.gates)
+                out.add(g);
+            continue;
+        }
+        const synth::SynthesisResult &r = results[next++];
         if (r.success &&
             static_cast<int>(r.blockCount) < b.count2Q) {
             for (const Gate &g : r.gates)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "circuit/circuit.hh"
+#include "synth/pool.hh"
 #include "synth/synthesis.hh"
 
 namespace reqisc::compiler
@@ -82,11 +83,17 @@ Circuit dagCompact(const Circuit &c, double tol = 1e-9);
  * (Section 5.1.2, threshold m_th = 4). `seed` drives the numeric
  * instantiation (deterministic per call); `memo` optionally shares
  * block-synthesis results across calls/circuits (service layer).
+ *
+ * `pool` optionally fans the independent block solves out across a
+ * shared synth::BlockPool. Results are collected into per-block
+ * slots and emitted in block order, so the output gate stream is
+ * bit-identical to the serial path at every worker count.
  */
 Circuit hierarchicalSynthesis(const Circuit &c, int m_th = 4,
                               double tol = 1e-9,
                               unsigned seed = 777,
-                              synth::BlockMemo *memo = nullptr);
+                              synth::BlockMemo *memo = nullptr,
+                              synth::BlockPool *pool = nullptr);
 
 /**
  * Near-identity gate mirroring (Section 4.3). Every 2Q gate whose

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
+#include "service/persist.hh"
 #include "synth/instantiate.hh"
 
 namespace reqisc::service
@@ -14,6 +16,21 @@ namespace
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Persistent-file identity: magic tags, format versions (bump on any
+// layout or key-scheme change; old files are then rejected wholesale)
+// and the fingerprint quantization scale the synth keys depend on.
+constexpr std::uint32_t kSynthMagic = 0x43535152u;   // "RQSC"
+constexpr std::uint32_t kPulseMagic = 0x43505152u;   // "RQPC"
+constexpr std::uint32_t kSynthFormatVersion = 1;
+constexpr std::uint32_t kPulseFormatVersion = 1;
+constexpr double kFingerprintScale = 1e12;
+
+// Parse-time sanity caps (see persist.hh: corrupt counts must fail
+// the load, not drive huge allocations).
+constexpr std::uint64_t kMaxEntries = 1ull << 22;
+constexpr std::uint64_t kMaxKeyWords = 4096;
+constexpr std::uint64_t kMaxGates = 1ull << 16;
 
 std::uint64_t
 fnv1a(const std::vector<std::int64_t> &words)
@@ -55,12 +72,13 @@ fingerprint(const qmath::Matrix &u)
     }
     std::vector<std::int64_t> words;
     words.reserve(2 * n * n);
-    const double scale = 1e12;
     for (int i = 0; i < n; ++i) {
         for (int j = 0; j < n; ++j) {
             const qmath::Complex v = u(i, j) / phase;
-            words.push_back(std::llround(v.real() * scale));
-            words.push_back(std::llround(v.imag() * scale));
+            words.push_back(
+                std::llround(v.real() * kFingerprintScale));
+            words.push_back(
+                std::llround(v.imag() * kFingerprintScale));
         }
     }
     return words;
@@ -88,11 +106,27 @@ rebuild(const synth::SynthesisResult &r)
     return u;
 }
 
+/** Exact (bit-pattern) double equality, the persistence contract. */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ua, ub;
+    std::memcpy(&ua, &a, sizeof(ua));
+    std::memcpy(&ub, &b, sizeof(ub));
+    return ua == ub;
+}
+
 } // namespace
 
 // ---- SynthCache --------------------------------------------------------
 
-SynthCache::SynthCache(std::size_t capacity) : capacity_(capacity) {}
+SynthCache::SynthCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      nshards_(capacity_ >= kStripeThreshold ? 16 : 1),
+      shardCapacity_(std::max<std::size_t>(capacity_ / nshards_, 1)),
+      shards_(std::make_unique<Shard[]>(nshards_))
+{
+}
 
 bool
 SynthCache::lookup(const qmath::Matrix &target,
@@ -102,6 +136,7 @@ SynthCache::lookup(const qmath::Matrix &target,
     std::vector<std::int64_t> key = fingerprint(target);
     appendOptions(key, opts);
     const std::uint64_t h = fnv1a(key);
+    Shard &shard = shardOf(h);
 
     // Copy the candidate out under the lock, verify outside it: the
     // rebuild-and-compare is the expensive part of a hit, and doing
@@ -109,8 +144,8 @@ SynthCache::lookup(const qmath::Matrix &target,
     synth::SynthesisResult candidate;
     bool found = false;
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        auto [it, last] = entries_.equal_range(h);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto [it, last] = shard.entries.equal_range(h);
         for (; it != last; ++it) {
             if (it->second.key == key) {
                 candidate = it->second.result;
@@ -119,7 +154,7 @@ SynthCache::lookup(const qmath::Matrix &target,
             }
         }
         if (!found) {
-            ++stats_.misses;
+            ++shard.stats.misses;
             return false;
         }
     }
@@ -132,13 +167,13 @@ SynthCache::lookup(const qmath::Matrix &target,
         !candidate.success ||
         qmath::traceInfidelity(rebuild(candidate), target) <=
             opts.tol;
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(shard.mu);
     if (!verified) {
-        ++stats_.misses;
+        ++shard.stats.misses;
         return false;
     }
-    ++stats_.hits;
-    auto [it, last] = entries_.equal_range(h);
+    ++shard.stats.hits;
+    auto [it, last] = shard.entries.equal_range(h);
     for (; it != last; ++it) {
         if (it->second.key == key) {  // may have been evicted since
             ++it->second.uses;
@@ -159,10 +194,11 @@ SynthCache::store(const qmath::Matrix &target,
     std::vector<std::int64_t> key = fingerprint(target);
     appendOptions(key, opts);
     const std::uint64_t h = fnv1a(key);
+    Shard &shard = shardOf(h);
 
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.solveSeconds += solve_seconds;
-    auto [it, last] = entries_.equal_range(h);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.stats.solveSeconds += solve_seconds;
+    auto [it, last] = shard.entries.equal_range(h);
     for (; it != last; ++it)
         if (it->second.key == key)
             return;  // racing job stored the identical result first
@@ -172,52 +208,181 @@ SynthCache::store(const qmath::Matrix &target,
     e.solveSeconds = solve_seconds;
     e.uses = 1;
     e.lastUse = ++clock_;
-    entries_.emplace(h, std::move(e));
-    evictIfNeeded();
+    shard.entries.emplace(h, std::move(e));
+    evictIfNeeded(shard);
 }
 
 void
-SynthCache::evictIfNeeded()
+SynthCache::evictIfNeeded(Shard &shard)
 {
-    while (entries_.size() > capacity_) {
-        auto victim = entries_.begin();
-        for (auto it = entries_.begin(); it != entries_.end(); ++it)
+    while (shard.entries.size() > shardCapacity_) {
+        auto victim = shard.entries.begin();
+        for (auto it = shard.entries.begin();
+             it != shard.entries.end(); ++it)
             if (it->second.lastUse < victim->second.lastUse)
                 victim = it;
-        entries_.erase(victim);
-        ++stats_.evictions;
+        shard.entries.erase(victim);
+        ++shard.stats.evictions;
     }
 }
 
 CacheCounters
 SynthCache::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    CacheCounters total;
+    for (std::size_t s = 0; s < nshards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        total.hits += shards_[s].stats.hits;
+        total.misses += shards_[s].stats.misses;
+        total.evictions += shards_[s].stats.evictions;
+        total.solveSeconds += shards_[s].stats.solveSeconds;
+    }
+    return total;
 }
 
 std::size_t
 SynthCache::size() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return entries_.size();
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < nshards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        n += shards_[s].entries.size();
+    }
+    return n;
 }
 
 std::vector<ClassStats>
 SynthCache::perClass() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
     std::vector<ClassStats> out;
-    out.reserve(entries_.size());
-    for (const auto &[h, e] : entries_) {
-        (void)h;
-        ClassStats s;
-        s.blockCount = e.result.blockCount;
-        s.uses = e.uses;
-        s.solveSeconds = e.solveSeconds;
-        out.push_back(s);
+    for (std::size_t s = 0; s < nshards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        for (const auto &[h, e] : shards_[s].entries) {
+            (void)h;
+            ClassStats row;
+            row.blockCount = e.result.blockCount;
+            row.uses = e.uses;
+            row.solveSeconds = e.solveSeconds;
+            out.push_back(row);
+        }
     }
     return out;
+}
+
+bool
+SynthCache::save(const std::string &path) const
+{
+    // Snapshot shard by shard, then order deterministically by key so
+    // identical cache contents always produce identical files.
+    std::vector<Entry> snapshot;
+    for (std::size_t s = 0; s < nshards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        for (const auto &[h, e] : shards_[s].entries) {
+            (void)h;
+            snapshot.push_back(e);
+        }
+    }
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.key < b.key;
+              });
+
+    persist::Writer w;
+    w.u32(kSynthMagic);
+    w.u32(kSynthFormatVersion);
+    w.f64(kFingerprintScale);
+    w.u64(snapshot.size());
+    for (const Entry &e : snapshot) {
+        w.u64(e.key.size());
+        for (std::int64_t word : e.key)
+            w.i64(word);
+        w.u32(e.result.success ? 1u : 0u);
+        w.f64(e.result.infidelity);
+        w.u32(static_cast<std::uint32_t>(e.result.blockCount));
+        w.u64(e.result.gates.size());
+        for (const circuit::Gate &g : e.result.gates)
+            w.gate(g);
+        w.f64(e.solveSeconds);
+        w.i64(e.uses);
+    }
+    return w.commit(path);
+}
+
+bool
+SynthCache::load(const std::string &path)
+{
+    std::string data;
+    if (!persist::Reader::slurp(path, data))
+        return false;
+    persist::Reader r(std::move(data));
+    if (!r.verifyChecksum())
+        return false;
+    std::uint32_t magic, version;
+    if (!r.u32(magic) || magic != kSynthMagic)
+        return false;
+    if (!r.u32(version) || version != kSynthFormatVersion)
+        return false;
+    double scale;
+    if (!r.f64(scale) || !sameBits(scale, kFingerprintScale))
+        return false;
+
+    // All-or-nothing: parse everything before touching the shards.
+    std::uint64_t count;
+    if (!r.u64(count) || count > kMaxEntries)
+        return false;
+    std::vector<Entry> parsed;
+    parsed.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Entry e;
+        std::uint64_t nwords;
+        if (!r.u64(nwords) || nwords > kMaxKeyWords)
+            return false;
+        e.key.resize(nwords);
+        for (std::uint64_t k = 0; k < nwords; ++k)
+            if (!r.i64(e.key[k]))
+                return false;
+        std::uint32_t success, block_count;
+        if (!r.u32(success) || success > 1)
+            return false;
+        e.result.success = success == 1;
+        if (!r.f64(e.result.infidelity))
+            return false;
+        if (!r.u32(block_count))
+            return false;
+        e.result.blockCount = static_cast<int>(block_count);
+        std::uint64_t ngates;
+        if (!r.u64(ngates) || ngates > kMaxGates)
+            return false;
+        e.result.gates.resize(ngates);
+        for (std::uint64_t g = 0; g < ngates; ++g)
+            if (!r.gate(e.result.gates[g]))
+                return false;
+        if (!r.f64(e.solveSeconds) || !r.i64(e.uses))
+            return false;
+        parsed.push_back(std::move(e));
+    }
+    if (r.remaining() != 0)
+        return false;
+
+    for (Entry &e : parsed) {
+        const std::uint64_t h = fnv1a(e.key);
+        Shard &shard = shardOf(h);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto [it, last] = shard.entries.equal_range(h);
+        bool dup = false;
+        for (; it != last; ++it) {
+            if (it->second.key == e.key) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;  // live entry wins over the persisted one
+        e.lastUse = ++clock_;
+        shard.entries.emplace(h, std::move(e));
+        evictIfNeeded(shard);
+    }
+    return true;
 }
 
 // ---- PulseCache --------------------------------------------------------
@@ -357,6 +522,159 @@ PulseCache::perClass() const
         out.push_back(s);
     }
     return out;
+}
+
+namespace
+{
+
+void
+writeCoord(persist::Writer &w, const weyl::WeylCoord &c)
+{
+    w.f64(c.x);
+    w.f64(c.y);
+    w.f64(c.z);
+}
+
+bool
+readCoord(persist::Reader &r, weyl::WeylCoord &c)
+{
+    return r.f64(c.x) && r.f64(c.y) && r.f64(c.z);
+}
+
+} // namespace
+
+bool
+PulseCache::save(const std::string &path) const
+{
+    std::vector<Entry> snapshot;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        snapshot.reserve(entries_.size());
+        for (const auto &[h, e] : entries_) {
+            (void)h;
+            snapshot.push_back(e);
+        }
+    }
+    std::sort(snapshot.begin(), snapshot.end(),
+              [](const Entry &a, const Entry &b) {
+                  return std::tie(a.coord.x, a.coord.y, a.coord.z) <
+                         std::tie(b.coord.x, b.coord.y, b.coord.z);
+              });
+
+    persist::Writer w;
+    w.u32(kPulseMagic);
+    w.u32(kPulseFormatVersion);
+    w.f64(cpl_.a);
+    w.f64(cpl_.b);
+    w.f64(cpl_.c);
+    w.f64(tol_);
+    w.u64(snapshot.size());
+    for (const Entry &e : snapshot) {
+        writeCoord(w, e.coord);
+        const uarch::PulseSolution &s = e.sol;
+        w.u32(s.converged ? 1u : 0u);
+        w.u32(static_cast<std::uint32_t>(s.scheme));
+        w.f64(s.tau);
+        w.f64(s.omega1);
+        w.f64(s.omega2);
+        w.f64(s.delta);
+        writeCoord(w, s.target);
+        writeCoord(w, s.effective);
+        w.f64(s.coordError);
+        w.u32(s.hasCorrections ? 1u : 0u);
+        w.matrix(s.a1);
+        w.matrix(s.a2);
+        w.matrix(s.b1);
+        w.matrix(s.b2);
+        w.f64(e.solveSeconds);
+        w.i64(e.uses);
+    }
+    return w.commit(path);
+}
+
+bool
+PulseCache::load(const std::string &path)
+{
+    std::string data;
+    if (!persist::Reader::slurp(path, data))
+        return false;
+    persist::Reader r(std::move(data));
+    if (!r.verifyChecksum())
+        return false;
+    std::uint32_t magic, version;
+    if (!r.u32(magic) || magic != kPulseMagic)
+        return false;
+    if (!r.u32(version) || version != kPulseFormatVersion)
+        return false;
+    double a, b, c, tol;
+    if (!r.f64(a) || !r.f64(b) || !r.f64(c) || !r.f64(tol))
+        return false;
+    // A pulse file is bound to one coupling and one cluster
+    // tolerance; anything else would serve solutions for the wrong
+    // hardware or cluster classes too aggressively.
+    if (!sameBits(a, cpl_.a) || !sameBits(b, cpl_.b) ||
+        !sameBits(c, cpl_.c) || !sameBits(tol, tol_))
+        return false;
+
+    std::uint64_t count;
+    if (!r.u64(count) || count > kMaxEntries)
+        return false;
+    std::vector<Entry> parsed;
+    parsed.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Entry e;
+        if (!readCoord(r, e.coord))
+            return false;
+        uarch::PulseSolution &s = e.sol;
+        std::uint32_t converged, scheme, has_corr;
+        if (!r.u32(converged) || converged > 1)
+            return false;
+        s.converged = converged == 1;
+        if (!r.u32(scheme) ||
+            scheme > static_cast<std::uint32_t>(
+                         uarch::SubScheme::EAMinus))
+            return false;
+        s.scheme = static_cast<uarch::SubScheme>(scheme);
+        if (!r.f64(s.tau) || !r.f64(s.omega1) || !r.f64(s.omega2) ||
+            !r.f64(s.delta))
+            return false;
+        if (!readCoord(r, s.target) || !readCoord(r, s.effective))
+            return false;
+        if (!r.f64(s.coordError))
+            return false;
+        if (!r.u32(has_corr) || has_corr > 1)
+            return false;
+        s.hasCorrections = has_corr == 1;
+        if (!r.matrix(s.a1) || !r.matrix(s.a2) || !r.matrix(s.b1) ||
+            !r.matrix(s.b2))
+            return false;
+        if (!r.f64(e.solveSeconds) || !r.i64(e.uses))
+            return false;
+        parsed.push_back(std::move(e));
+    }
+    if (r.remaining() != 0)
+        return false;
+
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Entry &e : parsed) {
+        if (!e.sol.converged)
+            continue;  // store() never admits these; neither do we
+        const std::uint64_t h = cellOf(e.coord);
+        auto [it, last] = entries_.equal_range(h);
+        bool dup = false;
+        for (; it != last; ++it) {
+            if (it->second.coord.distance(e.coord) <= tol_) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;  // live entry wins over the persisted one
+        e.lastUse = ++clock_;
+        entries_.emplace(h, std::move(e));
+        evictIfNeeded();
+    }
+    return true;
 }
 
 } // namespace reqisc::service

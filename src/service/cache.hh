@@ -25,17 +25,39 @@
  *    boundary a coordinate falls). Only converged, verified solutions
  *    are ever returned. A PulseCache is bound to one coupling.
  *
- * Both caches are thread-safe (one mutex each; the protected work is
- * micro-seconds against milliseconds-to-seconds solves), LRU-bounded,
- * and instrumented with compiler::CacheCounters plus per-class solve
- * times.
+ * Concurrency. Both caches are thread-safe. The SynthCache is on the
+ * hot path of intra-job parallel block resynthesis (synth::BlockPool
+ * workers hammer it concurrently), so its entries are striped across
+ * independently locked shards keyed by the fingerprint hash; small
+ * caches (below kStripeThreshold) collapse to a single shard, which
+ * keeps exact global LRU semantics where capacity pressure actually
+ * matters in tests. With multiple shards the capacity bound and LRU
+ * eviction are per-shard — an approximation of global LRU that never
+ * affects results, only which entries survive pressure. The
+ * PulseCache keeps one mutex (its critical sections are microseconds
+ * against milliseconds-to-seconds solves). Both are instrumented
+ * with compiler::CacheCounters plus per-class solve times.
+ *
+ * Persistence. Both caches serialize to a single binary file
+ * (save/load) in the persist.hh format: a versioned header carrying
+ * everything a key's meaning depends on (the fingerprint
+ * quantization scale for synthesis; coupling and tolerance for
+ * pulses), then the entries, then a whole-file checksum. load() is
+ * all-or-nothing: any mismatch (magic, version, header parameters)
+ * or corruption (bad checksum, truncation, implausible counts)
+ * returns false and leaves the cache exactly as it was — a clean
+ * cold start, never an error. Saves go through an atomic rename so
+ * readers never observe a partial file.
  */
 
 #ifndef REQISC_SERVICE_CACHE_HH
 #define REQISC_SERVICE_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +83,9 @@ struct ClassStats
 class SynthCache final : public synth::BlockMemo
 {
   public:
+    /** Capacities at or above this are striped across shards. */
+    static constexpr std::size_t kStripeThreshold = 1024;
+
     explicit SynthCache(std::size_t capacity = 1 << 14);
 
     bool lookup(const qmath::Matrix &target,
@@ -75,8 +100,24 @@ class SynthCache final : public synth::BlockMemo
     CacheCounters stats() const;
     std::size_t size() const;
 
+    /** Lock stripes backing the cache (1 below kStripeThreshold). */
+    int shardCount() const { return static_cast<int>(nshards_); }
+
     /** Snapshot of per-entry instrumentation (unordered). */
     std::vector<ClassStats> perClass() const;
+
+    /**
+     * Serialize every entry to `path` via atomic rename.
+     * @return false on I/O failure (target left untouched).
+     */
+    bool save(const std::string &path) const;
+
+    /**
+     * Merge entries from a file previously written by save(). Any
+     * mismatch or corruption returns false without modifying the
+     * cache (clean cold start). Already-present keys are kept.
+     */
+    bool load(const std::string &path);
 
   private:
     struct Entry
@@ -88,13 +129,25 @@ class SynthCache final : public synth::BlockMemo
         std::uint64_t lastUse = 0;
     };
 
-    void evictIfNeeded();  //!< requires mu_ held
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_multimap<std::uint64_t, Entry> entries;
+        CacheCounters stats;
+    };
 
-    std::size_t capacity_;
-    mutable std::mutex mu_;
-    std::unordered_multimap<std::uint64_t, Entry> entries_;
-    CacheCounters stats_;
-    std::uint64_t clock_ = 0;
+    Shard &shardOf(std::uint64_t h) const
+    {
+        return shards_[h % nshards_];
+    }
+
+    void evictIfNeeded(Shard &s);  //!< requires s.mu held
+
+    std::size_t capacity_;       //!< global bound (sum over shards)
+    std::size_t nshards_;
+    std::size_t shardCapacity_;
+    std::unique_ptr<Shard[]> shards_;
+    std::atomic<std::uint64_t> clock_{0};
 };
 
 /** Memoization cache for per-SU(4)-class pulse solutions. */
@@ -126,6 +179,21 @@ class PulseCache final : public uarch::PulseMemo
 
     /** Snapshot of per-class instrumentation (unordered). */
     std::vector<ClassStats> perClass() const;
+
+    /**
+     * Serialize every entry to `path` via atomic rename. The header
+     * carries the bound coupling and tolerance.
+     * @return false on I/O failure (target left untouched).
+     */
+    bool save(const std::string &path) const;
+
+    /**
+     * Merge entries from a file previously written by save(). The
+     * file's coupling and tolerance must match this cache's exactly
+     * (bit-for-bit); any mismatch or corruption returns false
+     * without modifying the cache (clean cold start).
+     */
+    bool load(const std::string &path);
 
   private:
     struct Entry

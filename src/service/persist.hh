@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary (de)serialization primitives for the persistent caches.
+ *
+ * File layout (little-endian throughout):
+ *
+ *   u32 magic        'RQSC' (synth) / 'RQPC' (pulse)
+ *   u32 formatVersion
+ *   ... header + entries (format owned by the cache classes) ...
+ *   u64 checksum     FNV-1a over every preceding byte
+ *
+ * The contract the caches build on:
+ *
+ *  - Writer buffers everything in memory and commits with
+ *    write-to-temporary + std::rename, so a crash mid-save never
+ *    leaves a partial file at the target path (atomic on POSIX).
+ *  - Reader verifies length and trailing checksum before any field is
+ *    parsed; a truncated or corrupted file fails cleanly (load
+ *    returns false, the cache cold-starts) — it never throws and
+ *    never yields garbage fields.
+ *  - Doubles round-trip bit-exactly (raw IEEE-754 bit patterns), so
+ *    a reloaded entry is indistinguishable from the freshly computed
+ *    one — the bit-identical determinism contract of the service
+ *    survives a restart.
+ *  - Bumping a format version constant in the caller invalidates old
+ *    files wholesale; there is no in-place migration.
+ */
+
+#ifndef REQISC_SERVICE_PERSIST_HH
+#define REQISC_SERVICE_PERSIST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/gate.hh"
+#include "qmath/matrix.hh"
+
+namespace reqisc::service::persist
+{
+
+/** FNV-1a over a raw byte range (the file checksum). */
+std::uint64_t fnv1aBytes(const void *data, std::size_t n);
+
+/** Append-only little-endian buffer with an atomic file commit. */
+class Writer
+{
+  public:
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    /** Raw IEEE-754 bit pattern; round-trips exactly. */
+    void f64(double v);
+    void matrix(const qmath::Matrix &m);
+    void gate(const circuit::Gate &g);
+
+    /**
+     * Append the checksum trailer and atomically replace `path`
+     * (write `path` + ".tmp", fsync-free rename). @return false on
+     * any I/O failure; the target file is left untouched then.
+     */
+    bool commit(const std::string &path) const;
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked reader over a fully slurped file. */
+class Reader
+{
+  public:
+    /** Read a whole file; false if missing/unreadable. */
+    static bool slurp(const std::string &path, std::string &out);
+
+    explicit Reader(std::string data);
+
+    /**
+     * Verify the trailing checksum against everything before it and
+     * shrink the readable range to exclude the trailer. Must be
+     * called (and succeed) before parsing fields.
+     */
+    bool verifyChecksum();
+
+    // Each accessor returns false on exhausted input (truncation).
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    bool i64(std::int64_t &v);
+    bool f64(double &v);
+    bool matrix(qmath::Matrix &m);
+    bool gate(circuit::Gate &g);
+
+    std::size_t remaining() const { return end_ - pos_; }
+
+  private:
+    bool bytes(void *dst, std::size_t n);
+
+    std::string data_;
+    std::size_t pos_ = 0;
+    std::size_t end_ = 0;
+};
+
+} // namespace reqisc::service::persist
+
+#endif // REQISC_SERVICE_PERSIST_HH

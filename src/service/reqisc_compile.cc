@@ -53,6 +53,8 @@ struct CliOptions
     service::Pipeline pipeline = service::Pipeline::Full;
     std::string pipelineSpec;    //!< set for --pipeline custom:...
     int jobs = 1;
+    int blockWorkers = 1;        //!< intra-job resynthesis workers
+    std::string cacheDir;        //!< persistent caches; "" = off
     int repeat = 1;
     unsigned seed = 777;
     bool variational = false;
@@ -83,6 +85,16 @@ printUsage(std::ostream &os)
           "then exit\n"
           "  --jobs N              worker threads; 0 = all cores "
           "(default: 1)\n"
+          "  --block-workers N     intra-job 3Q block-resynthesis "
+          "workers;\n"
+          "                        0 = leftover cores (default: 1, "
+          "serial);\n"
+          "                        results are bit-identical at any "
+          "N\n"
+          "  --cache-dir DIR       persist the SU(4) caches in DIR: "
+          "load\n"
+          "                        them at start-up, save them on "
+          "exit\n"
           "  --repeat K            submit each input K times "
           "(default: 1)\n"
           "  --suite small|medium  also compile the built-in suite\n"
@@ -186,6 +198,16 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!v)
                 return false;
             cli.jobs = std::atoi(v);
+        } else if (arg == "--block-workers") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.blockWorkers = std::atoi(v);
+        } else if (arg == "--cache-dir") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.cacheDir = v;
         } else if (arg == "--repeat") {
             const char *v = value(i);
             if (!v)
@@ -382,6 +404,8 @@ main(int argc, char **argv)
 
     service::ServiceOptions sopts;
     sopts.threads = cli.jobs;
+    sopts.blockWorkers = cli.blockWorkers;
+    sopts.cacheDir = cli.cacheDir;
     sopts.enableSynthCache = !cli.noCache;
     sopts.enablePulseCache = !cli.noCache;
     if (!cli.backendPath.empty()) {
@@ -449,7 +473,11 @@ main(int argc, char **argv)
                         << ", \"count2QBefore\": "
                         << t.count2QBefore << ", \"count2QAfter\": "
                         << t.count2QAfter << ", \"makespan\": "
-                        << fmtDouble(t.makespanAfter, 4) << "}";
+                        << fmtDouble(t.makespanAfter, 4);
+                    if (!t.note.empty())
+                        std::cout << ", \"note\": \""
+                                  << jsonEscape(t.note) << "\"";
+                    std::cout << "}";
                 }
                 std::cout << "]";
                 if (r.metrics.backend.used) {
@@ -536,13 +564,18 @@ main(int argc, char **argv)
                   << synth_stats.evictions << ", \"solveSeconds\": "
                   << fmtDouble(synth_stats.solveSeconds, 4)
                   << ", \"entries\": " << svc.synthCacheSize()
+                  << ", \"warmStart\": "
+                  << (svc.synthCacheWarmStarted() ? "true" : "false")
                   << "},\n  \"pulseCache\": {\"hits\": "
                   << pulse_stats.hits << ", \"misses\": "
                   << pulse_stats.misses << ", \"evictions\": "
                   << pulse_stats.evictions << ", \"solveSeconds\": "
                   << fmtDouble(pulse_stats.solveSeconds, 4)
                   << ", \"entries\": " << svc.pulseCacheSize()
-                  << "}\n}\n";
+                  << ", \"warmStart\": "
+                  << (svc.pulseCacheWarmStarted() ? "true" : "false")
+                  << "},\n  \"blockWorkers\": " << svc.blockWorkers()
+                  << "\n}\n";
     } else {
         if (svc.backend()) {
             const backend::Backend &chip = *svc.backend();

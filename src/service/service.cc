@@ -1,7 +1,10 @@
 #include "service/service.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "circuit/qasm.hh"
 #include "compiler/pass_manager.hh"
@@ -17,6 +20,9 @@ namespace
  * attributing this job's hits/misses/solve time to its Metrics. The
  * hit/miss *split* depends on what other jobs populated first; the
  * compiled artifacts do not (see the determinism contract).
+ *
+ * The block memo is consulted from BlockPool workers when intra-job
+ * parallel resynthesis is on, so its counters take a (cheap) lock.
  */
 class CountingBlockMemo final : public synth::BlockMemo
 {
@@ -31,6 +37,7 @@ class CountingBlockMemo final : public synth::BlockMemo
                 synth::SynthesisResult &out) override
     {
         const bool hit = inner_->lookup(target, opts, out);
+        std::lock_guard<std::mutex> lk(mu_);
         if (hit)
             ++counters_.hits;
         else
@@ -43,14 +50,22 @@ class CountingBlockMemo final : public synth::BlockMemo
                const synth::SynthesisResult &result,
                double solve_seconds) override
     {
-        counters_.solveSeconds += solve_seconds;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            counters_.solveSeconds += solve_seconds;
+        }
         inner_->store(target, opts, result, solve_seconds);
     }
 
-    const CacheCounters &counters() const { return counters_; }
+    CacheCounters counters() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return counters_;
+    }
 
   private:
     synth::BlockMemo *inner_;
+    mutable std::mutex mu_;
     CacheCounters counters_;
 };
 
@@ -88,6 +103,16 @@ class CountingPulseMemo final : public uarch::PulseMemo
     CacheCounters counters_;
 };
 
+/** Cache file names inside ServiceOptions::cacheDir. */
+constexpr const char *kSynthCacheFile = "synth.cache";
+constexpr const char *kPulseCacheFile = "pulse.cache";
+
+std::string
+joinPath(const std::string &dir, const char *file)
+{
+    return (std::filesystem::path(dir) / file).string();
+}
+
 } // namespace
 
 CompileService::CompileService(ServiceOptions opts)
@@ -122,6 +147,25 @@ CompileService::CompileService(ServiceOptions opts)
         pulseCache_ = std::make_unique<PulseCache>(
             opts_.coupling, opts_.pulseClusterTol,
             opts_.pulseCacheCapacity);
+    if (!opts_.cacheDir.empty()) {
+        if (synthCache_)
+            synthLoaded_ = synthCache_->load(
+                joinPath(opts_.cacheDir, kSynthCacheFile));
+        if (pulseCache_)
+            pulseLoaded_ = pulseCache_->load(
+                joinPath(opts_.cacheDir, kPulseCacheFile));
+    }
+    // One pool shared by every job keeps the total thread count at
+    // threads_ + helpers regardless of how many jobs are in flight.
+    int block_workers = opts_.blockWorkers;
+    if (block_workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        block_workers = std::max(
+            1, static_cast<int>(hw ? hw : 1) - threads_ + 1);
+    }
+    if (block_workers > 1)
+        blockPool_ =
+            std::make_unique<synth::BlockPool>(block_workers - 1);
     workers_.reserve(threads_);
     for (int i = 0; i < threads_; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -136,6 +180,31 @@ CompileService::~CompileService()
     workCv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    if (!opts_.cacheDir.empty())
+        saveCaches();  // best effort; failure leaves old files intact
+}
+
+int
+CompileService::blockWorkers() const
+{
+    return blockPool_ ? blockPool_->workers() : 1;
+}
+
+bool
+CompileService::saveCaches() const
+{
+    if (opts_.cacheDir.empty())
+        return false;
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.cacheDir, ec);
+    bool ok = true;
+    if (synthCache_)
+        ok &= synthCache_->save(
+            joinPath(opts_.cacheDir, kSynthCacheFile));
+    if (pulseCache_)
+        ok &= pulseCache_->save(
+            joinPath(opts_.cacheDir, kPulseCacheFile));
+    return ok;
 }
 
 std::uint64_t
@@ -248,6 +317,7 @@ CompileService::runJob(const Job &job)
         CountingBlockMemo synthMemo(synthCache_.get());
         if (synthCache_)
             copts.synthMemo = &synthMemo;
+        copts.synthPool = blockPool_.get();
 
         // Resolve which pass list this job runs: the explicit spec
         // when one is given, the legacy enum otherwise.

@@ -48,6 +48,7 @@
 #include "isa/program.hh"
 #include "isa/schedule.hh"
 #include "service/cache.hh"
+#include "synth/pool.hh"
 #include "uarch/calibration.hh"
 
 namespace reqisc::service
@@ -73,6 +74,24 @@ struct ServiceOptions
     uarch::Coupling coupling = uarch::Coupling::xy(1.0);
     /** SU(4)-class clustering tolerance (calibration + pulse cache). */
     double pulseClusterTol = 1e-6;
+    /**
+     * Intra-job block-resynthesis workers for hier-synth: 1 solves
+     * blocks serially (no pool), N > 1 creates one synth::BlockPool
+     * with N-1 helper threads shared across all jobs (the submitting
+     * worker participates, so the service's total thread count stays
+     * `threads + blockWorkers - 1` no matter how many jobs are in
+     * flight), 0 sizes the pool to the hardware concurrency left
+     * over after the job workers. Compiled artifacts are
+     * bit-identical at every setting.
+     */
+    int blockWorkers = 1;
+    /**
+     * Directory for persistent caches. When non-empty, the service
+     * loads `synth.cache` / `pulse.cache` from it at construction
+     * (silently cold-starting on missing, mismatched or corrupt
+     * files) and saves both on destruction via atomic rename.
+     */
+    std::string cacheDir;
     /**
      * Concrete chip (per-edge calibration). When set, the service
      * runs the gate-set reconfiguration loop once at construction
@@ -180,6 +199,18 @@ class CompileService
     std::vector<JobResult> waitAll();
 
     int threads() const { return threads_; }
+    /** Effective block-resynthesis workers (>= 1). */
+    int blockWorkers() const;
+
+    /**
+     * Write both caches to ServiceOptions::cacheDir now (also done
+     * automatically on destruction). @return true when every enabled
+     * cache saved; false with no cacheDir or on I/O failure.
+     */
+    bool saveCaches() const;
+    /** Did construction load a persisted synth / pulse cache file? */
+    bool synthCacheWarmStarted() const { return synthLoaded_; }
+    bool pulseCacheWarmStarted() const { return pulseLoaded_; }
 
     /** The chip this service compiles to; nullptr without one. */
     const backend::Backend *backend() const
@@ -218,6 +249,10 @@ class CompileService
     backend::ReconfigureResult reconfig_;
     std::unique_ptr<SynthCache> synthCache_;   //!< null when disabled
     std::unique_ptr<PulseCache> pulseCache_;   //!< null when disabled
+    /** Shared intra-job resynthesis pool; null when blockWorkers=1. */
+    std::unique_ptr<synth::BlockPool> blockPool_;
+    bool synthLoaded_ = false;   //!< persisted synth cache loaded
+    bool pulseLoaded_ = false;   //!< persisted pulse cache loaded
 
     mutable std::mutex mu_;
     std::condition_variable workCv_;   //!< queue -> workers

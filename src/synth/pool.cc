@@ -1,0 +1,102 @@
+#include "synth/pool.hh"
+
+#include <utility>
+
+namespace reqisc::synth
+{
+
+BlockPool::BlockPool(int helper_threads)
+{
+    if (helper_threads < 0)
+        helper_threads = 0;
+    workers_.reserve(static_cast<std::size_t>(helper_threads));
+    for (int i = 0; i < helper_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+BlockPool::~BlockPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void BlockPool::execute(Item &item)
+{
+    try
+    {
+        item.fn();
+    }
+    catch (...)
+    {
+        std::lock_guard<std::mutex> lock(item.batch->mu);
+        if (!item.batch->error)
+            item.batch->error = std::current_exception();
+    }
+    std::size_t left;
+    {
+        std::lock_guard<std::mutex> lock(item.batch->mu);
+        left = --item.batch->remaining;
+    }
+    if (left == 0)
+        item.batch->cv.notify_all();
+}
+
+void BlockPool::workerLoop()
+{
+    for (;;)
+    {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            item = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        execute(item);
+    }
+}
+
+void BlockPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = tasks.size();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &t : tasks)
+            queue_.push_back(Item{std::move(t), batch});
+    }
+    cv_.notify_all();
+
+    // Caller participation: drain the queue (our batch's tasks and,
+    // possibly, other batches' — executing those only helps them)
+    // until it is empty, then wait for any of our tasks still being
+    // executed by helper threads.
+    for (;;)
+    {
+        Item item;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (queue_.empty())
+                break;
+            item = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        execute(item);
+    }
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+} // namespace reqisc::synth

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bounded task pool for intra-job block-resynthesis parallelism.
+ *
+ * The 3Q resynthesis targets inside compiler::hierarchicalSynthesis
+ * are independent (each synthesizeBlock call is a pure function of
+ * its target and options), so a single large circuit can fan its
+ * blocks out across workers. A BlockPool owns a fixed number of
+ * helper threads and is designed to be *shared* — the service keeps
+ * one pool beside its job pool so the total thread count stays
+ * capped no matter how many jobs are in flight.
+ *
+ * run() is a fan-out/join primitive with caller participation: the
+ * submitting thread executes queued tasks itself until its batch
+ * completes, so a pool with zero helper threads degrades to plain
+ * serial execution and a shared pool can never deadlock a waiting
+ * job (the waiter drains the queue, including other jobs' tasks).
+ *
+ * Determinism: the pool imposes no ordering on task execution, so it
+ * must only be used for tasks that are independent and write to
+ * disjoint slots — exactly the contract hierarchicalSynthesis
+ * upholds (results land in an index-addressed vector and are emitted
+ * in block order afterwards), which is what keeps the parallel gate
+ * stream bit-identical to the serial one at every worker count.
+ */
+
+#ifndef REQISC_SYNTH_POOL_HH
+#define REQISC_SYNTH_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reqisc::synth
+{
+
+/** Shared bounded pool for independent block-synthesis tasks. */
+class BlockPool
+{
+  public:
+    /**
+     * @param helper_threads threads spawned in addition to the
+     *        callers that join their own batches; 0 means run()
+     *        executes everything on the calling thread.
+     */
+    explicit BlockPool(int helper_threads);
+    ~BlockPool();
+
+    BlockPool(const BlockPool &) = delete;
+    BlockPool &operator=(const BlockPool &) = delete;
+
+    /** Helper threads owned by the pool. */
+    int helperThreads() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** Workers a batch can use at once (helpers + the caller). */
+    int workers() const { return helperThreads() + 1; }
+
+    /**
+     * Execute every task and return when all of them finished. The
+     * caller participates; tasks of other concurrent batches may be
+     * executed by this thread while it drains the queue (that only
+     * speeds them up). The first exception a task of this batch
+     * throws is rethrown here after the batch completes.
+     */
+    void run(std::vector<std::function<void()>> tasks);
+
+  private:
+    /** Join state of one run() call. */
+    struct Batch
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t remaining = 0;
+        std::exception_ptr error;
+    };
+
+    struct Item
+    {
+        std::function<void()> fn;
+        std::shared_ptr<Batch> batch;
+    };
+
+    void execute(Item &item);
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Item> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace reqisc::synth
+
+#endif // REQISC_SYNTH_POOL_HH

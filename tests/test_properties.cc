@@ -18,6 +18,7 @@
 #include "qmath/optimize.hh"
 #include "qmath/random.hh"
 #include "qsim/statevector.hh"
+#include "service/cache.hh"
 #include "suite/suite.hh"
 #include "synth/synthesis.hh"
 #include "test_util.hh"
@@ -332,4 +333,126 @@ TEST(OptimizerProperties, NewtonFromPoorStart)
     RootResult r = newtonSolve(f, {2.9});
     EXPECT_TRUE(r.converged);
     EXPECT_NEAR(std::sin(r.x[0]), 0.5, 1e-10);
+}
+
+// ---- Cache-key properties (service/cache.hh) --------------------------
+
+TEST(CacheKeyProperties, GlobalPhaseNeverSplitsSynthEntries)
+{
+    // The synth-cache fingerprint canonicalizes global phase, so
+    // U and e^{i phi} U must always share one entry — for any U and
+    // any phase. Failure entries are used as markers: a hit on the
+    // exact key needs no verification, so the property is tested on
+    // the key alone.
+    Rng rng(7100);
+    std::uniform_real_distribution<double> ph(-kPi, kPi);
+    synth::SynthesisOptions opts;
+    const synth::SynthesisResult marker;  // failure entry
+
+    for (int rep = 0; rep < 20; ++rep) {
+        service::SynthCache cache;
+        const Matrix u = randomUnitary(8, rng);
+        cache.store(u, opts, marker, 0.0);
+
+        const Complex w = std::polar(1.0, ph(rng));
+        Matrix phased = u;
+        for (int i = 0; i < 8; ++i)
+            for (int j = 0; j < 8; ++j)
+                phased(i, j) = phased(i, j) * w;
+
+        synth::SynthesisResult out;
+        EXPECT_TRUE(cache.lookup(phased, opts, out)) << "rep " << rep;
+        EXPECT_EQ(cache.size(), 1u);
+    }
+}
+
+TEST(CacheKeyProperties, PerturbationsBeyondQuantizationMiss)
+{
+    // Entry-wise perturbations far above the fingerprint quantization
+    // step (1e-12) land on a different key: the cache never serves a
+    // result for a materially different unitary.
+    Rng rng(7200);
+    std::uniform_int_distribution<int> idx(0, 7);
+    synth::SynthesisOptions opts;
+    const synth::SynthesisResult marker;
+
+    for (double delta : {1e-6, 1e-3, 0.1}) {
+        for (int rep = 0; rep < 10; ++rep) {
+            service::SynthCache cache;
+            const Matrix u = randomUnitary(8, rng);
+            cache.store(u, opts, marker, 0.0);
+
+            Matrix nudged = u;
+            const int i = idx(rng), j = idx(rng);
+            nudged(i, j) = nudged(i, j) + Complex{delta, 0.0};
+            synth::SynthesisResult out;
+            EXPECT_FALSE(cache.lookup(nudged, opts, out))
+                << "delta " << delta << " rep " << rep;
+        }
+    }
+}
+
+TEST(CacheKeyProperties, EverySearchOptionSplitsTheKey)
+{
+    // Each field of SynthesisOptions that determines the search
+    // outcome is part of the cache key; changing any one of them must
+    // miss (the deterministic-search contract of a hit would
+    // otherwise be violated).
+    Rng rng(7300);
+    const Matrix u = randomUnitary(8, rng);
+    const synth::SynthesisResult marker;
+
+    synth::SynthesisOptions base;
+    base.descending = true;
+
+    std::vector<synth::SynthesisOptions> variants(5, base);
+    variants[0].tol = base.tol * 10.0;
+    variants[1].maxBlocks = base.maxBlocks + 1;
+    variants[2].restarts = base.restarts + 1;
+    variants[3].seed = base.seed + 1;
+    variants[4].descending = !base.descending;
+
+    for (size_t v = 0; v < variants.size(); ++v) {
+        service::SynthCache cache;
+        cache.store(u, base, marker, 0.0);
+        synth::SynthesisResult out;
+        EXPECT_TRUE(cache.lookup(u, base, out));
+        EXPECT_FALSE(cache.lookup(u, variants[v], out))
+            << "variant " << v;
+    }
+}
+
+TEST(CacheKeyProperties, PulseLookupIsToleranceExactAcrossBuckets)
+{
+    // Sweep coordinates straddling bucket boundaries: a stored class
+    // must hit for every probe within the cluster tolerance and miss
+    // for every probe beyond it, no matter how the probe falls
+    // against the hash-cell grid.
+    const double tol = 1e-6;
+    uarch::PulseSolution sol;
+    sol.converged = true;
+    sol.coordError = 0.0;
+
+    Rng rng(7400);
+    std::uniform_real_distribution<double> d(0.05, kPi / 4 - 0.05);
+    for (int rep = 0; rep < 20; ++rep) {
+        service::PulseCache cache(uarch::Coupling::xy(1.0), tol);
+        WeylCoord c{d(rng), d(rng) / 2, d(rng) / 4};
+        cache.store(c, sol, 0.0);
+
+        for (double frac : {0.0, 0.3, 0.99}) {
+            WeylCoord probe = c;
+            probe.x += frac * tol;
+            uarch::PulseSolution out;
+            EXPECT_TRUE(cache.lookup(probe, out))
+                << "rep " << rep << " frac " << frac;
+        }
+        for (double frac : {1.5, 3.0, 10.0}) {
+            WeylCoord probe = c;
+            probe.x += frac * tol;
+            uarch::PulseSolution out;
+            EXPECT_FALSE(cache.lookup(probe, out))
+                << "rep " << rep << " frac " << frac;
+        }
+    }
 }

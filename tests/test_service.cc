@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "qsim/statevector.hh"
 #include "service/cache.hh"
 #include "service/service.hh"
+#include "synth/instantiate.hh"
 #include "suite/suite.hh"
 #include "test_util.hh"
 
@@ -424,4 +427,142 @@ TEST(CompileService, DisabledCachesStillCompile)
               0);
     EXPECT_EQ(svc.synthCacheSize(), 0u);
     EXPECT_TRUE(svc.synthCachePerClass().empty());
+}
+
+// ---- Concurrent SynthCache + intra-job block workers -------------------
+
+namespace
+{
+
+/** Exact (bitwise double) equality of two matrices. */
+bool
+exactMatrix(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            if (a(i, j).real() != b(i, j).real() ||
+                a(i, j).imag() != b(i, j).imag())
+                return false;
+    return true;
+}
+
+} // namespace
+
+TEST(SynthCache, ConcurrentLookupStoreStressIsRaceFree)
+{
+    // Run under TSan in CI: several threads hammer lookup/store on a
+    // shared cache — the access pattern of synth::BlockPool workers
+    // inside one job — both on a single-shard cache under eviction
+    // pressure and on a striped one. Entries are hand-crafted (one
+    // opaque U4 whose lift *is* the target) so a hit's verification
+    // passes bit-exactly without running the structure search.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 400;
+    constexpr int kClasses = 16;
+
+    Rng rng(101);
+    std::vector<Matrix> locals, targets;
+    std::vector<synth::SynthesisResult> entries;
+    for (int i = 0; i < kClasses; ++i) {
+        const Matrix u = randomUnitary(4, rng);
+        synth::SynthesisResult r;
+        r.success = true;
+        r.infidelity = 0.0;
+        r.blockCount = 1;
+        r.gates = {Gate::u4(0, 1, u)};
+        locals.push_back(u);
+        targets.push_back(synth::liftGate(u, {0, 1}, 3));
+        entries.push_back(std::move(r));
+    }
+
+    synth::SynthesisOptions opts;
+    opts.descending = true;
+
+    for (std::size_t capacity :
+         {std::size_t{8}, service::SynthCache::kStripeThreshold}) {
+        service::SynthCache cache(capacity);
+        std::atomic<std::int64_t> good_hits{0};
+        std::atomic<std::int64_t> bad_hits{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                for (int i = 0; i < kIters; ++i) {
+                    const int k = (t * 7 + i) % kClasses;
+                    synth::SynthesisResult out;
+                    if (!cache.lookup(targets[k], opts, out)) {
+                        cache.store(targets[k], opts, entries[k],
+                                    1e-4);
+                        continue;
+                    }
+                    // A hit must be the exact stored entry.
+                    const bool exact =
+                        out.success && out.gates.size() == 1 &&
+                        out.gates[0].op == Op::U4 &&
+                        out.gates[0].payload &&
+                        exactMatrix(*out.gates[0].payload, locals[k]);
+                    ++(exact ? good_hits : bad_hits);
+                }
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+
+        EXPECT_EQ(bad_hits, 0);
+        const auto stats = cache.stats();
+        // Every iteration does exactly one lookup.
+        EXPECT_EQ(stats.hits + stats.misses,
+                  std::int64_t{kThreads} * kIters);
+        EXPECT_EQ(stats.hits, good_hits);
+        EXPECT_LE(cache.size(), capacity);
+        if (capacity < kClasses) {
+            EXPECT_EQ(cache.shardCount(), 1);
+            EXPECT_GT(stats.evictions, 0);
+        } else {
+            EXPECT_GT(cache.shardCount(), 1);
+        }
+    }
+}
+
+TEST(CompileService, BlockWorkersProduceBitIdenticalArtifacts)
+{
+    // The tentpole's determinism contract at the service level: the
+    // same batch compiled with serial block resynthesis and with a
+    // shared 4-worker BlockPool yields identical artifacts.
+    std::vector<std::string> flat1, flat4;
+    for (int bw : {1, 4}) {
+        service::ServiceOptions sopts;
+        sopts.threads = 2;
+        sopts.blockWorkers = bw;
+        service::CompileService svc(sopts);
+        EXPECT_EQ(svc.blockWorkers(), bw);
+        svc.submitBatch(twentyCircuitBatch());
+        auto results = svc.waitAll();
+        ASSERT_EQ(results.size(), 20u);
+        auto &flat = bw == 1 ? flat1 : flat4;
+        for (const auto &r : results) {
+            ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+            flat.push_back(flatten(r));
+        }
+    }
+    ASSERT_EQ(flat1.size(), flat4.size());
+    for (size_t i = 0; i < flat1.size(); ++i)
+        EXPECT_EQ(flat1[i], flat4[i]) << "job " << i;
+}
+
+TEST(CompileService, AutoBlockWorkersResolveToAtLeastOne)
+{
+    service::ServiceOptions sopts;
+    sopts.threads = 1;
+    sopts.blockWorkers = 0;  // auto: hardware left over after workers
+    service::CompileService svc(sopts);
+    EXPECT_GE(svc.blockWorkers(), 1);
+
+    // And the pool still compiles correctly whatever it resolved to.
+    service::CompileRequest req;
+    req.name = "adder";
+    req.input = suite::smallSuite()[2].circuit;
+    service::JobResult r = svc.wait(svc.submit(std::move(req)));
+    EXPECT_TRUE(r.ok) << r.error;
 }
