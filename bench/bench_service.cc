@@ -28,8 +28,11 @@
 #include <system_error>
 #include <vector>
 
+#include <algorithm>
+
 #include "common.hh"
 #include "compiler/metrics.hh"
+#include "obs/obs.hh"
 #include "service/service.hh"
 #include "suite/suite.hh"
 
@@ -172,6 +175,35 @@ main(int argc, char **argv)
         }
         fs::remove_all(cache_dir, ec);
 
+        // ---- Observability overhead -------------------------------
+        // The near-zero-cost-when-disabled claim, measured: the warm
+        // suite on a 1-thread service with tracing+metrics fully on
+        // vs fully off. Three alternating timed runs per config with
+        // min-of-3 (the standard noise shield on shared CI runners);
+        // the guarded key is the inverted ratio obsEfficiency =
+        // off/on (check_baselines floors are higher-is-better, and
+        // 1/1.05 ~ 0.952 encodes the required < 1.05x overhead).
+        double obs_on = 0.0, obs_off = 0.0;
+        {
+            service::ServiceOptions oo;
+            oo.threads = 1;
+            service::CompileService svc(oo);
+            runBatch(svc, workload(1));  // warm the caches
+            std::vector<double> on_runs, off_runs;
+            for (int rep = 0; rep < 3; ++rep) {
+                obs::setEnabled(false);
+                off_runs.push_back(runBatch(svc, workload(copies)));
+                obs::setEnabled(true);
+                on_runs.push_back(runBatch(svc, workload(copies)));
+                obs::setEnabled(false);
+                obs::Tracer::global().clear();
+            }
+            obs_on = *std::min_element(on_runs.begin(),
+                                       on_runs.end());
+            obs_off = *std::min_element(off_runs.begin(),
+                                        off_runs.end());
+        }
+
         std::printf("{\n  \"circuits\": %zu,\n", batch_size);
         std::printf("  \"coldSeconds\": %.6f,\n", cold_secs);
         std::printf("  \"warmSeconds\": %.6f,\n", warm_secs);
@@ -188,6 +220,10 @@ main(int argc, char **argv)
             persist_warm_hier > 0.0
                 ? persist_cold_hier / persist_warm_hier
                 : 0.0);
+        std::printf("  \"obsOverhead\": %.6f,\n",
+                    obs_off > 0.0 ? obs_on / obs_off : 0.0);
+        std::printf("  \"obsEfficiency\": %.6f,\n",
+                    obs_on > 0.0 ? obs_off / obs_on : 0.0);
         std::printf("  \"passSecondsTotal\": %.6f,\n", total);
         std::printf("  \"passes\": {\n");
         for (std::size_t i = 0; i < agg.size(); ++i) {

@@ -168,6 +168,22 @@ def self_check():
         ({"metrics": [par]},
          {"service": {"parallelSynthSpeedup": 0.0}}, 1, "sign flip"),
     ]
+    # The observability-overhead guard inverts the ratio so the
+    # generic higher-is-better floor enforces an upper bound:
+    # obsEfficiency = disabled/enabled time, floor 1/1.05 <=> the
+    # < 1.05x overhead acceptance criterion.
+    obs = {"name": "obsOverhead", "bench": "service",
+           "key": "obsEfficiency", "baseline": 1.0,
+           "maxRegression": 1.05, "requirePositive": True}
+    scenarios += [
+        # Healthy run: observability is ~free (1% overhead).
+        ({"metrics": [obs]},
+         {"service": {"obsEfficiency": 0.99}}, 0, ""),
+        # 11% overhead (efficiency 0.90 < floor ~0.952) must trip.
+        ({"metrics": [obs]},
+         {"service": {"obsEfficiency": 0.90}}, 1,
+         "gross regression"),
+    ]
     for i, (baselines, current, want, snippet) in enumerate(scenarios):
         buf = io.StringIO()
         try:

@@ -1,12 +1,12 @@
 #include "compiler/pass_manager.hh"
 
 #include <algorithm>
-#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
 #include "circuit/lower.hh"
 #include "compiler/passes.hh"
+#include "obs/span.hh"
 #include "route/sabre.hh"
 #include "synth/instantiate.hh"
 #include "synth/synthesis.hh"
@@ -54,11 +54,11 @@ PassManager::run(CompilationUnit &unit) const
             static_cast<int>(unit.active().size());
         trace.count2QBefore = unit.active().count2Q();
         unit.passNote.clear();
-        const auto t0 = std::chrono::steady_clock::now();
+        // One Span is both the PassTrace stopwatch and the exported
+        // trace event, so the two can never disagree.
+        obs::Span span("pass:" + trace.pass);
         pass->run(unit);
-        trace.seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+        trace.seconds = span.stop();
         trace.note = std::move(unit.passNote);
         unit.passNote.clear();
         trace.gatesAfter = static_cast<int>(unit.active().size());

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Thread-safe metrics registry: counters, gauges and fixed-bucket
+ * histograms with Prometheus-exposition-format snapshots.
+ *
+ * The hot-path contract is contention-freedom: every counter and
+ * histogram owns an array of cache-line-aligned per-thread cells
+ * indexed by a dense thread slot (detail::threadSlot), so concurrent
+ * writers touch disjoint cache lines and a write is one relaxed
+ * atomic RMW behind a relaxed enabled check. Cells are merged only at
+ * snapshot time. A snapshot taken while writers are running is
+ * eventually consistent (it may miss increments still in flight);
+ * after joining the writing threads it is exact. More threads than
+ * slots wrap around and share cells — still correct (all cell ops are
+ * atomic), just no longer contention-free.
+ *
+ * Gauges are a single atomic (last-set-wins across threads), which
+ * matches their use: low-frequency level signals (queue depth,
+ * jobs in flight), not high-rate accumulation.
+ *
+ * A Registry is instantiable for tests; production code uses the
+ * process-wide Registry::global(), which starts *disabled* — every
+ * write is a no-op costing one relaxed load until setEnabled(true)
+ * (the near-zero-cost-when-off contract, bench-guarded by
+ * bench_service's obsOverhead metric). Metric registration is
+ * independent of the enabled flag and idempotent by name.
+ *
+ * This layer is at the very bottom of the dependency order: it may
+ * be used from any other subsystem and depends only on the standard
+ * library. All time-valued metrics are seconds measured with
+ * std::chrono::steady_clock (the repo-wide clock discipline).
+ */
+
+#ifndef REQISC_OBS_METRICS_HH
+#define REQISC_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reqisc::obs
+{
+
+namespace detail
+{
+
+/** Per-thread cell count per metric (wraps beyond this, see @file). */
+inline constexpr std::size_t kSlots = 64;
+
+/** Dense per-thread slot in [0, kSlots), stable for the thread. */
+std::size_t threadSlot();
+
+struct alignas(64) CounterCell
+{
+    std::atomic<std::int64_t> v{0};
+};
+
+} // namespace detail
+
+class Registry;
+
+/** Monotonically increasing sum (Prometheus `counter`). */
+class Counter
+{
+  public:
+    void add(std::int64_t n = 1)
+    {
+        if (!enabled_->load(std::memory_order_relaxed))
+            return;
+        cells_[detail::threadSlot()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+    void inc() { add(1); }
+
+    /** Merged value over all thread cells. */
+    std::int64_t value() const;
+
+  private:
+    friend class Registry;
+    Counter(std::string name, std::string help,
+            const std::atomic<bool> *enabled);
+
+    std::string name_, help_;
+    const std::atomic<bool> *enabled_;
+    std::unique_ptr<detail::CounterCell[]> cells_;
+};
+
+/** Last-set-wins level signal (Prometheus `gauge`). */
+class Gauge
+{
+  public:
+    void set(double v);
+    void add(double d);  //!< CAS loop; for inc/dec-style gauges
+    double value() const;
+
+  private:
+    friend class Registry;
+    Gauge(std::string name, std::string help,
+          const std::atomic<bool> *enabled);
+
+    std::string name_, help_;
+    const std::atomic<bool> *enabled_;
+    std::atomic<std::uint64_t> bits_;  //!< bit-cast double
+};
+
+/**
+ * Fixed-bucket histogram (Prometheus `histogram`): cumulative `le`
+ * buckets over strictly increasing finite upper bounds plus an
+ * implicit +Inf overflow bucket, a total count and a value sum.
+ */
+class Histogram
+{
+  public:
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+  private:
+    friend class Registry;
+    Histogram(std::string name, std::string help,
+              std::vector<double> bounds,
+              const std::atomic<bool> *enabled);
+
+    struct alignas(64) Cell
+    {
+        /** One per finite bound plus the +Inf overflow bucket. */
+        std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+    };
+
+    std::string name_, help_;
+    std::vector<double> bounds_;
+    const std::atomic<bool> *enabled_;
+    std::unique_ptr<Cell[]> cells_;
+};
+
+// ---- Snapshots ---------------------------------------------------------
+
+struct CounterSnapshot
+{
+    std::string name, help;
+    std::int64_t value = 0;
+};
+
+struct GaugeSnapshot
+{
+    std::string name, help;
+    double value = 0.0;
+};
+
+struct HistogramSnapshot
+{
+    std::string name, help;
+    std::vector<double> bounds;          //!< finite upper bounds
+    std::vector<std::uint64_t> buckets;  //!< per bucket; last = +Inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /**
+     * Prometheus histogram_quantile semantics: find the bucket the
+     * q-rank falls in and interpolate linearly inside it (lower edge
+     * of the first bucket is 0 — observations are assumed
+     * non-negative, which every time-valued metric here satisfies).
+     * Ranks beyond the last finite bound return that bound. Returns
+     * 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+};
+
+struct MetricsSnapshot
+{
+    std::vector<CounterSnapshot> counters;
+    std::vector<GaugeSnapshot> gauges;
+    std::vector<HistogramSnapshot> histograms;
+
+    /**
+     * Prometheus text exposition format (version 0.0.4): HELP/TYPE
+     * comment pairs, one sample line per counter/gauge, cumulative
+     * `le`-labelled bucket lines plus _sum/_count per histogram.
+     * Families are emitted name-sorted within each type; doubles are
+     * shortest-round-trip formatted.
+     */
+    std::string prometheusText() const;
+};
+
+// ---- Registry ----------------------------------------------------------
+
+/** Owner of the metric objects; see @file for the hot-path model. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Process-wide registry (leaky singleton; starts disabled). */
+    static Registry &global();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Register (or fetch) a metric by name. Returned pointers are
+     * stable for the registry's lifetime. Re-registering an existing
+     * name of the same type returns the existing metric (help and,
+     * for histograms, bounds of the first registration win); a name
+     * clash across types throws std::invalid_argument.
+     */
+    Counter *counter(const std::string &name,
+                     const std::string &help);
+    Gauge *gauge(const std::string &name, const std::string &help);
+    Histogram *histogram(const std::string &name,
+                         const std::string &help,
+                         std::vector<double> bounds = {});
+
+    /** Merge every metric's cells into a consistent-enough copy. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;  //!< registration + snapshot only
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Default histogram bounds for second-valued observations:
+ * log-spaced 1 µs .. 10 s (1-2.5-5 decades), covering cache
+ * verifications through whole-job compiles.
+ */
+std::vector<double> defaultTimeBuckets();
+
+/**
+ * Prometheus exposition of the global registry — the string the
+ * future compile daemon will serve on /metrics, and what
+ * `reqisc-compile --metrics-out` writes.
+ */
+std::string metricsSnapshot();
+
+} // namespace reqisc::obs
+
+#endif // REQISC_OBS_METRICS_HH

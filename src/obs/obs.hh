@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Umbrella header for the observability layer: metrics registry
+ * (obs/metrics.hh) + structured spans (obs/span.hh), with one switch
+ * for both. See docs/OBSERVABILITY.md for the metric catalog, span
+ * hierarchy and export formats.
+ */
+
+#ifndef REQISC_OBS_OBS_HH
+#define REQISC_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace reqisc::obs
+{
+
+/** Turn metrics collection and span tracing on/off together. */
+inline void setEnabled(bool on)
+{
+    Registry::global().setEnabled(on);
+    Tracer::global().setEnabled(on);
+}
+
+/** True when either half of the layer is recording. */
+inline bool enabled()
+{
+    return Registry::global().enabled() ||
+           Tracer::global().enabled();
+}
+
+} // namespace reqisc::obs
+
+#endif // REQISC_OBS_OBS_HH

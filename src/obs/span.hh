@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Structured spans: RAII-timed, nestable, cross-thread-linkable
+ * trace sections buffered per thread and collectable as a flat event
+ * list (exported to Chrome trace-event JSON by obs/trace_json.hh).
+ *
+ * Model: each thread owns a ThreadLog (registered with the Tracer on
+ * first use, retired at thread exit so no events are lost). Opening a
+ * Span allocates a process-unique id, parents it on the owning
+ * thread's innermost live span (or an explicit SpanContext for
+ * cross-thread links, e.g. BlockPool tasks parented on the job span
+ * that enqueued them) and pushes it on the thread's span stack;
+ * stop()/destruction pops the stack and appends one completed
+ * TraceEvent. Timestamps are std::chrono::steady_clock nanoseconds
+ * relative to the tracer's epoch (captured at construction).
+ *
+ * Cost model mirrors obs/metrics.hh: when the tracer is disabled at
+ * Span construction the span is inert — no id, no buffering, just
+ * the clock reads needed for stop()'s return value (PassManager
+ * feeds PassTrace from it, so the measurement must exist even with
+ * tracing off). Tracer::global() is a leaky singleton, disabled by
+ * default.
+ */
+
+#ifndef REQISC_OBS_SPAN_HH
+#define REQISC_OBS_SPAN_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reqisc::obs
+{
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+/** Opaque span identity for cross-thread parent links (0 = none). */
+struct SpanContext
+{
+    std::uint64_t id = 0;
+};
+
+/** One completed span, ready for export. */
+struct TraceEvent
+{
+    std::string name;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;   //!< 0 = root
+    std::uint32_t tid = 0;      //!< dense per-thread index
+    std::int64_t startNs = 0;   //!< steady ns since tracer epoch
+    std::int64_t durNs = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+namespace detail
+{
+struct ThreadLog;
+}
+
+/** Process-wide span sink; see @file for the model. */
+class Tracer
+{
+  public:
+    Tracer();
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Leaky singleton (safe to use from static destructors). */
+    static Tracer &global();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Copy out every buffered event (live and retired threads),
+     * sorted by start time. Spans still open are not included.
+     */
+    std::vector<TraceEvent> collect();
+
+    /** Drop all buffered events (open spans still record on stop). */
+    void clear();
+
+    SteadyTime epoch() const { return epoch_; }
+
+    /** Internal: hand a thread's log back at thread exit. */
+    void retire(detail::ThreadLog *log);
+
+  private:
+    friend class Span;
+    friend struct detail::ThreadLog;
+    friend SpanContext currentSpan();
+    friend void recordSpan(const std::string &, SteadyTime,
+                           SteadyTime, SpanContext);
+
+    detail::ThreadLog &threadLog();
+    std::uint64_t nextId()
+    {
+        return nextId_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> nextId_{0};
+    SteadyTime epoch_;
+
+    std::mutex mu_;  //!< guards the log lists + tid assignment
+    std::uint32_t nextTid_ = 0;
+    std::vector<detail::ThreadLog *> live_;
+    std::vector<std::unique_ptr<detail::ThreadLog>> retired_;
+};
+
+namespace detail
+{
+
+/** Per-thread event buffer + open-span stack (owner-only stack). */
+struct ThreadLog
+{
+    Tracer *tracer = nullptr;
+    std::uint32_t tid = 0;
+    std::mutex mu;  //!< events only; stack is owner-thread-only
+    std::vector<TraceEvent> events;
+    std::vector<std::uint64_t> stack;
+};
+
+} // namespace detail
+
+/**
+ * RAII trace section. Records to Tracer::global(). The enabled check
+ * happens at construction: a span opened while tracing is off stays
+ * inert even if tracing turns on before it closes (and vice versa),
+ * so toggling mid-span never unbalances the thread's span stack.
+ */
+class Span
+{
+  public:
+    /** Open now, parented on the thread's innermost live span. */
+    explicit Span(std::string name);
+    /** Open now with an explicit (possibly cross-thread) parent. */
+    Span(std::string name, SpanContext parent);
+    /**
+     * Open with a backdated start (e.g. a queue-wait measured from
+     * an enqueue timestamp), parented on the innermost live span.
+     */
+    Span(std::string name, SteadyTime start);
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span();
+
+    /**
+     * Close the span and return its duration in seconds. Idempotent
+     * (later calls return the first duration). Returns a valid
+     * duration even when tracing is disabled.
+     */
+    double stop();
+
+    /** Attach a key=value to the exported event (active spans only). */
+    void annotate(const std::string &key, const std::string &value);
+
+    /** Identity for cross-thread parent links ({0} when inert). */
+    SpanContext context() const { return {id_}; }
+
+  private:
+    void open(SpanContext explicitParent, bool useStackParent);
+
+    std::string name_;
+    SteadyTime start_;
+    std::uint64_t id_ = 0;  //!< 0 = inert
+    std::uint64_t parent_ = 0;
+    bool stopped_ = false;
+    double seconds_ = 0.0;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/**
+ * Record an already-measured interval as a completed span (used
+ * where RAII does not fit, e.g. queue wait computed from an enqueue
+ * timestamp carried in the job). With parent.id == 0 the event is
+ * parented on the calling thread's innermost live span.
+ */
+void recordSpan(const std::string &name, SteadyTime start,
+                SteadyTime end, SpanContext parent = {});
+
+/** Innermost live span on this thread ({0} if none/disabled). */
+SpanContext currentSpan();
+
+} // namespace reqisc::obs
+
+#endif // REQISC_OBS_SPAN_HH

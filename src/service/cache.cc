@@ -1,10 +1,12 @@
 #include "service/cache.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <tuple>
 
+#include "obs/obs.hh"
 #include "service/persist.hh"
 #include "synth/instantiate.hh"
 
@@ -13,6 +15,49 @@ namespace reqisc::service
 
 namespace
 {
+
+/**
+ * Process-wide cache metrics, registered lazily on first cache use.
+ * These run beside the per-instance CacheCounters (which feed the
+ * per-job --json report); the obs view aggregates over every cache
+ * instance in the process, which is what a /metrics scrape wants.
+ */
+struct CacheMetrics
+{
+    obs::Counter *synthHits;
+    obs::Counter *synthMisses;
+    obs::Counter *synthEvictions;
+    obs::Histogram *synthVerifySeconds;
+    obs::Counter *pulseHits;
+    obs::Counter *pulseMisses;
+    obs::Counter *pulseEvictions;
+};
+
+CacheMetrics &cacheMetrics()
+{
+    static CacheMetrics m = [] {
+        auto &r = obs::Registry::global();
+        return CacheMetrics{
+            r.counter("reqisc_synth_cache_hits_total",
+                      "SynthCache lookups served (verified)"),
+            r.counter("reqisc_synth_cache_misses_total",
+                      "SynthCache lookups not served (absent or "
+                      "failed re-verification)"),
+            r.counter("reqisc_synth_cache_evictions_total",
+                      "SynthCache LRU evictions"),
+            r.histogram("reqisc_synth_cache_verify_seconds",
+                        "Rebuild-and-compare re-verification time "
+                        "of a SynthCache hit candidate"),
+            r.counter("reqisc_pulse_cache_hits_total",
+                      "PulseCache lookups served within tolerance"),
+            r.counter("reqisc_pulse_cache_misses_total",
+                      "PulseCache lookups not served"),
+            r.counter("reqisc_pulse_cache_evictions_total",
+                      "PulseCache LRU evictions"),
+        };
+    }();
+    return m;
+}
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
@@ -155,6 +200,7 @@ SynthCache::lookup(const qmath::Matrix &target,
         }
         if (!found) {
             ++shard.stats.misses;
+            cacheMetrics().synthMisses->inc();
             return false;
         }
     }
@@ -163,16 +209,25 @@ SynthCache::lookup(const qmath::Matrix &target,
     // recomputes), never as a wrong answer. Failure entries carry no
     // gates to verify — they are trusted on the exact key, which
     // reproduces the deterministic search outcome.
-    const bool verified =
-        !candidate.success ||
-        qmath::traceInfidelity(rebuild(candidate), target) <=
+    bool verified = true;
+    if (candidate.success) {
+        const auto v0 = std::chrono::steady_clock::now();
+        verified =
+            qmath::traceInfidelity(rebuild(candidate), target) <=
             opts.tol;
+        cacheMetrics().synthVerifySeconds->observe(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - v0)
+                .count());
+    }
     std::lock_guard<std::mutex> lk(shard.mu);
     if (!verified) {
         ++shard.stats.misses;
+        cacheMetrics().synthMisses->inc();
         return false;
     }
     ++shard.stats.hits;
+    cacheMetrics().synthHits->inc();
     auto [it, last] = shard.entries.equal_range(h);
     for (; it != last; ++it) {
         if (it->second.key == key) {  // may have been evicted since
@@ -223,6 +278,7 @@ SynthCache::evictIfNeeded(Shard &shard)
                 victim = it;
         shard.entries.erase(victim);
         ++shard.stats.evictions;
+        cacheMetrics().synthEvictions->inc();
     }
 }
 
@@ -272,6 +328,7 @@ SynthCache::perClass() const
 bool
 SynthCache::save(const std::string &path) const
 {
+    obs::Span span("persist:synth-save");
     // Snapshot shard by shard, then order deterministically by key so
     // identical cache contents always produce identical files.
     std::vector<Entry> snapshot;
@@ -311,6 +368,7 @@ SynthCache::save(const std::string &path) const
 bool
 SynthCache::load(const std::string &path)
 {
+    obs::Span span("persist:synth-load");
     std::string data;
     if (!persist::Reader::slurp(path, data))
         return false;
@@ -449,10 +507,12 @@ PulseCache::lookup(const weyl::WeylCoord &coord,
         ++best->uses;
         best->lastUse = ++clock_;
         ++stats_.hits;
+        cacheMetrics().pulseHits->inc();
         sol = best->sol;
         return true;
     }
     ++stats_.misses;
+    cacheMetrics().pulseMisses->inc();
     return false;
 }
 
@@ -490,6 +550,7 @@ PulseCache::evictIfNeeded()
                 victim = it;
         entries_.erase(victim);
         ++stats_.evictions;
+        cacheMetrics().pulseEvictions->inc();
     }
 }
 
@@ -546,6 +607,7 @@ readCoord(persist::Reader &r, weyl::WeylCoord &c)
 bool
 PulseCache::save(const std::string &path) const
 {
+    obs::Span span("persist:pulse-save");
     std::vector<Entry> snapshot;
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -595,6 +657,7 @@ PulseCache::save(const std::string &path) const
 bool
 PulseCache::load(const std::string &path)
 {
+    obs::Span span("persist:pulse-load");
     std::string data;
     if (!persist::Reader::slurp(path, data))
         return false;

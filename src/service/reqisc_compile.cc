@@ -33,6 +33,8 @@
 #include "compiler/pass_manager.hh"
 #include "isa/assembly.hh"
 #include "isa/schedule.hh"
+#include "obs/obs.hh"
+#include "obs/trace_json.hh"
 #include "service/service.hh"
 #include "suite/suite.hh"
 
@@ -65,6 +67,8 @@ struct CliOptions
     bool schedule = false;       //!< lower into timed RQISA programs
     isa::Strategy strategy = isa::Strategy::Asap;
     bool emitIsa = false;        //!< dump RQISA assembly (implies schedule)
+    std::string traceOut;        //!< Chrome trace JSON; "" = off
+    std::string metricsOut;      //!< Prometheus exposition; "" = off
 };
 
 void
@@ -112,6 +116,16 @@ printUsage(std::ostream &os)
           "(serial|asap|alap)\n"
           "  --emit-isa            print each program's RQISA "
           "assembly (implies --schedule asap)\n"
+          "  --trace-out FILE      write a Chrome trace-event JSON "
+          "of every\n"
+          "                        span (jobs, passes, block tasks, "
+          "cache\n"
+          "                        persistence); load it in Perfetto "
+          "or\n"
+          "                        chrome://tracing\n"
+          "  --metrics-out FILE    write a Prometheus-exposition "
+          "snapshot of\n"
+          "                        the service metrics at exit\n"
           "  --stats               print cache statistics\n"
           "  --json                machine-readable output\n"
           "  --version             print the version and exit\n"
@@ -252,6 +266,16 @@ parseArgs(int argc, char **argv, CliOptions &cli)
         } else if (arg == "--emit-isa") {
             cli.emitIsa = true;
             cli.schedule = true;
+        } else if (arg == "--trace-out") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.traceOut = v;
+        } else if (arg == "--metrics-out") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.metricsOut = v;
         } else if (arg == "--stats") {
             cli.stats = true;
         } else if (arg == "--json") {
@@ -402,6 +426,10 @@ main(int argc, char **argv)
             batch.insert(batch.end(), once.begin(), once.end());
     }
 
+    // Observability is opt-in: near-zero-cost no-ops otherwise.
+    if (!cli.traceOut.empty() || !cli.metricsOut.empty())
+        obs::setEnabled(true);
+
     service::ServiceOptions sopts;
     sopts.threads = cli.jobs;
     sopts.blockWorkers = cli.blockWorkers;
@@ -458,7 +486,23 @@ main(int argc, char **argv)
                     << fmtDouble(r.metrics.synthCache.hitRate(), 4)
                     << ", \"pulseCacheHitRate\": "
                     << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
-                    << ", \"seconds\": " << fmtDouble(r.seconds, 4)
+                    << ", \"synthCache\": {\"hits\": "
+                    << r.metrics.synthCache.hits << ", \"misses\": "
+                    << r.metrics.synthCache.misses
+                    << ", \"evictions\": "
+                    << r.metrics.synthCache.evictions
+                    << ", \"solveSeconds\": "
+                    << fmtDouble(r.metrics.synthCache.solveSeconds,
+                                 4)
+                    << "}, \"pulseCache\": {\"hits\": "
+                    << r.metrics.pulseCache.hits << ", \"misses\": "
+                    << r.metrics.pulseCache.misses
+                    << ", \"evictions\": "
+                    << r.metrics.pulseCache.evictions
+                    << ", \"solveSeconds\": "
+                    << fmtDouble(r.metrics.pulseCache.solveSeconds,
+                                 4)
+                    << "}, \"seconds\": " << fmtDouble(r.seconds, 4)
                     << ", \"passes\": [";
                 for (std::size_t p = 0;
                      p < r.metrics.passes.size(); ++p) {
@@ -663,6 +707,28 @@ main(int argc, char **argv)
                             svc.pulseCacheSize(),
                             svc.pulseCachePerClass(), true);
             printPassStats(results);
+        }
+    }
+
+    if (!cli.traceOut.empty()) {
+        std::string error;
+        if (!obs::writeTextFile(
+                cli.traceOut,
+                obs::chromeTraceJson(
+                    obs::Tracer::global().collect()),
+                error)) {
+            std::cerr << "reqisc-compile: --trace-out: " << error
+                      << "\n";
+            return 1;
+        }
+    }
+    if (!cli.metricsOut.empty()) {
+        std::string error;
+        if (!obs::writeTextFile(cli.metricsOut,
+                                obs::metricsSnapshot(), error)) {
+            std::cerr << "reqisc-compile: --metrics-out: " << error
+                      << "\n";
+            return 1;
         }
     }
 

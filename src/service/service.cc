@@ -8,12 +8,44 @@
 
 #include "circuit/qasm.hh"
 #include "compiler/pass_manager.hh"
+#include "obs/obs.hh"
 
 namespace reqisc::service
 {
 
 namespace
 {
+
+/** Service-level metrics, registered lazily on first service use. */
+struct ServiceMetrics
+{
+    obs::Gauge *jobsInflight;
+    obs::Counter *jobsCompleted;
+    obs::Counter *jobsFailed;
+    obs::Histogram *queueWaitSeconds;
+    obs::Histogram *jobSeconds;
+};
+
+ServiceMetrics &serviceMetrics()
+{
+    static ServiceMetrics m = [] {
+        auto &r = obs::Registry::global();
+        return ServiceMetrics{
+            r.gauge("reqisc_jobs_inflight",
+                    "Jobs queued or running in the service"),
+            r.counter("reqisc_jobs_completed_total",
+                      "Jobs finished successfully"),
+            r.counter("reqisc_jobs_failed_total",
+                      "Jobs finished with a captured error"),
+            r.histogram("reqisc_job_queue_wait_seconds",
+                        "Time from submit() to a worker picking the "
+                        "job up"),
+            r.histogram("reqisc_job_seconds",
+                        "Wall time of one job in its worker"),
+        };
+    }();
+    return m;
+}
 
 /**
  * Per-job counting adapters: forward to the shared cache while
@@ -214,9 +246,12 @@ CompileService::submit(CompileRequest req)
     {
         std::lock_guard<std::mutex> lk(mu_);
         id = nextId_++;
-        queue_.push_back(Job{id, std::move(req)});
+        queue_.push_back(Job{id, std::move(req),
+                             std::chrono::steady_clock::now()});
         pending_.insert(id);
         ++inFlight_;
+        serviceMetrics().jobsInflight->set(
+            static_cast<double>(inFlight_));
     }
     workCv_.notify_one();
     return id;
@@ -229,13 +264,16 @@ CompileService::submitBatch(std::vector<CompileRequest> reqs)
     ids.reserve(reqs.size());
     {
         std::lock_guard<std::mutex> lk(mu_);
+        const auto now = std::chrono::steady_clock::now();
         for (CompileRequest &r : reqs) {
             const std::uint64_t id = nextId_++;
-            queue_.push_back(Job{id, std::move(r)});
+            queue_.push_back(Job{id, std::move(r), now});
             pending_.insert(id);
             ++inFlight_;
             ids.push_back(id);
         }
+        serviceMetrics().jobsInflight->set(
+            static_cast<double>(inFlight_));
     }
     workCv_.notify_all();
     return ids;
@@ -297,6 +335,8 @@ CompileService::workerLoop()
             pending_.erase(job.id);
             results_.emplace(job.id, std::move(res));
             --inFlight_;
+            serviceMetrics().jobsInflight->set(
+                static_cast<double>(inFlight_));
         }
         doneCv_.notify_all();
     }
@@ -308,11 +348,24 @@ CompileService::runJob(const Job &job)
     JobResult res;
     res.id = job.id;
     res.name = job.req.name;
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Span jobSpan("job:" + (job.req.name.empty()
+                                    ? std::to_string(job.id)
+                                    : job.req.name));
+    obs::recordSpan("queue-wait", job.enqueuedAt,
+                    std::chrono::steady_clock::now(),
+                    jobSpan.context());
+    serviceMetrics().queueWaitSeconds->observe(
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - job.enqueuedAt)
+            .count());
     try {
-        circuit::Circuit input =
-            job.req.qasm.empty() ? job.req.input
-                                 : circuit::fromQasm(job.req.qasm);
+        circuit::Circuit input;
+        if (job.req.qasm.empty()) {
+            input = job.req.input;
+        } else {
+            obs::Span parseSpan("parse");
+            input = circuit::fromQasm(job.req.qasm);
+        }
         compiler::CompileOptions copts = job.req.options;
         CountingBlockMemo synthMemo(synthCache_.get());
         if (synthCache_)
@@ -381,16 +434,19 @@ CompileService::runJob(const Job &job)
         }
         pm.run(unit);
 
-        res.metrics = std::move(unit.metrics);
-        if (unit.hasRouted) {
-            res.routed = std::move(unit.routed);
-            res.finalLayout = std::move(unit.finalLayout);
+        {
+            obs::Span copyOut("copy-out");
+            res.metrics = std::move(unit.metrics);
+            if (unit.hasRouted) {
+                res.routed = std::move(unit.routed);
+                res.finalLayout = std::move(unit.finalLayout);
+            }
+            if (unit.hasProgram)
+                res.program = std::move(unit.program);
+            res.compiled.circuit = std::move(unit.circuit);
+            res.compiled.finalPermutation =
+                std::move(unit.finalPermutation);
         }
-        if (unit.hasProgram)
-            res.program = std::move(unit.program);
-        res.compiled.circuit = std::move(unit.circuit);
-        res.compiled.finalPermutation =
-            std::move(unit.finalPermutation);
 
         if (synthCache_)
             res.metrics.synthCache = synthMemo.counters();
@@ -400,6 +456,7 @@ CompileService::runJob(const Job &job)
         const bool heterogeneousChip =
             opts_.backend && !opts_.backend->isHomogeneous();
         if (job.req.calibrate && !heterogeneousChip) {
+            obs::Span calibrate("calibrate");
             CountingPulseMemo pulseMemo(pulseCache_.get());
             const uarch::CalibrationPlan plan =
                 uarch::planCalibration(
@@ -418,9 +475,10 @@ CompileService::runJob(const Job &job)
         res.ok = false;
         res.error = "unknown error";
     }
-    res.seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+    res.seconds = jobSpan.stop();
+    ServiceMetrics &m = serviceMetrics();
+    m.jobSeconds->observe(res.seconds);
+    (res.ok ? m.jobsCompleted : m.jobsFailed)->inc();
     return res;
 }
 

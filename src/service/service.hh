@@ -30,6 +30,7 @@
 #ifndef REQISC_SERVICE_SERVICE_HH
 #define REQISC_SERVICE_SERVICE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -238,6 +239,9 @@ class CompileService
     {
         std::uint64_t id = 0;
         CompileRequest req;
+        /** Submission time; the worker reports the queue wait from
+         *  it (obs queue-wait span + histogram). */
+        std::chrono::steady_clock::time_point enqueuedAt;
     };
 
     void workerLoop();

@@ -2,16 +2,63 @@
 
 #include <utility>
 
+#include "obs/metrics.hh"
+
 namespace reqisc::synth
 {
 
+namespace
+{
+
+/**
+ * Lazily registered pool metrics. Several pools (rare outside tests)
+ * share these: gauges are last-writer-wins, counters/histograms
+ * accumulate across pools — both acceptable for a process that in
+ * practice runs one shared pool beside the service.
+ */
+struct PoolMetrics
+{
+    obs::Gauge *queueDepth;
+    obs::Gauge *workers;
+    obs::Gauge *utilization;
+    obs::Counter *tasks;
+    obs::Histogram *taskSeconds;
+};
+
+PoolMetrics &poolMetrics()
+{
+    static PoolMetrics m = [] {
+        auto &r = obs::Registry::global();
+        return PoolMetrics{
+            r.gauge("reqisc_blockpool_queue_depth",
+                    "Block-synthesis tasks waiting in the shared "
+                    "pool queue"),
+            r.gauge("reqisc_blockpool_workers",
+                    "Executors a batch can use at once (helper "
+                    "threads + the joining caller)"),
+            r.gauge("reqisc_blockpool_utilization",
+                    "Busy seconds / (wall seconds x workers) since "
+                    "pool construction, in [0, 1]"),
+            r.counter("reqisc_blockpool_tasks_total",
+                      "Block-synthesis tasks executed"),
+            r.histogram("reqisc_blockpool_task_seconds",
+                        "Latency of one block-synthesis task"),
+        };
+    }();
+    return m;
+}
+
+} // namespace
+
 BlockPool::BlockPool(int helper_threads)
+    : started_(std::chrono::steady_clock::now())
 {
     if (helper_threads < 0)
         helper_threads = 0;
     workers_.reserve(static_cast<std::size_t>(helper_threads));
     for (int i = 0; i < helper_threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    poolMetrics().workers->set(workers());
 }
 
 BlockPool::~BlockPool()
@@ -25,8 +72,15 @@ BlockPool::~BlockPool()
         w.join();
 }
 
+void BlockPool::noteQueueDepth() const
+{
+    poolMetrics().queueDepth->set(
+        static_cast<double>(queue_.size()));
+}
+
 void BlockPool::execute(Item &item)
 {
+    obs::Span span("block-task", item.parent);
     try
     {
         item.fn();
@@ -37,6 +91,20 @@ void BlockPool::execute(Item &item)
         if (!item.batch->error)
             item.batch->error = std::current_exception();
     }
+    const double secs = span.stop();
+    PoolMetrics &m = poolMetrics();
+    m.tasks->inc();
+    m.taskSeconds->observe(secs);
+    const double busy =
+        busySeconds_.fetch_add(secs, std::memory_order_relaxed) +
+        secs;
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started_)
+            .count();
+    if (wall > 0.0)
+        m.utilization->set(busy / (wall * workers()));
+
     std::size_t left;
     {
         std::lock_guard<std::mutex> lock(item.batch->mu);
@@ -59,6 +127,7 @@ void BlockPool::workerLoop()
                 return; // stopping_ and drained
             item = std::move(queue_.front());
             queue_.pop_front();
+            noteQueueDepth();
         }
         execute(item);
     }
@@ -70,10 +139,15 @@ void BlockPool::run(std::vector<std::function<void()>> tasks)
         return;
     auto batch = std::make_shared<Batch>();
     batch->remaining = tasks.size();
+    // Tasks may execute on helper threads whose span stacks know
+    // nothing about this job; carry the caller's innermost span so
+    // block-task events still parent onto it.
+    const obs::SpanContext parent = obs::currentSpan();
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto &t : tasks)
-            queue_.push_back(Item{std::move(t), batch});
+            queue_.push_back(Item{std::move(t), batch, parent});
+        noteQueueDepth();
     }
     cv_.notify_all();
 
@@ -90,6 +164,7 @@ void BlockPool::run(std::vector<std::function<void()>> tasks)
                 break;
             item = std::move(queue_.front());
             queue_.pop_front();
+            noteQueueDepth();
         }
         execute(item);
     }

@@ -27,6 +27,8 @@
 #ifndef REQISC_SYNTH_POOL_HH
 #define REQISC_SYNTH_POOL_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,6 +37,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/span.hh"
 
 namespace reqisc::synth
 {
@@ -86,16 +90,25 @@ class BlockPool
     {
         std::function<void()> fn;
         std::shared_ptr<Batch> batch;
+        /** Span of the run() caller, so each executed task can be
+         *  traced as its child even on a helper thread. */
+        obs::SpanContext parent;
     };
 
     void execute(Item &item);
     void workerLoop();
+    void noteQueueDepth() const;  //!< callers hold mu_
 
     std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Item> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+
+    /** Utilization accounting: busy seconds across all executors
+     *  over (wall seconds since construction x workers()). */
+    std::chrono::steady_clock::time_point started_;
+    std::atomic<double> busySeconds_{0.0};
 };
 
 } // namespace reqisc::synth
