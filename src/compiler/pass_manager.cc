@@ -1,8 +1,12 @@
 #include "compiler/pass_manager.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "circuit/lower.hh"
 #include "compiler/passes.hh"
@@ -13,6 +17,49 @@
 
 namespace reqisc::compiler
 {
+
+namespace
+{
+
+/**
+ * Fault-injection hook for the observability pipeline:
+ * REQISC_PASS_DELAY_MS="pass=ms[,pass=ms...]" sleeps inside the
+ * named passes' spans, so an artificial regression lands in
+ * PassTrace, the exported trace and the bench --json output exactly
+ * like a real slowdown would — tools/obsreport's attribution is
+ * CI-tested against it. Parsed once; malformed items are ignored.
+ */
+const std::map<std::string, int> &
+passDelaysMs()
+{
+    static const std::map<std::string, int> delays = [] {
+        std::map<std::string, int> m;
+        const char *env = std::getenv("REQISC_PASS_DELAY_MS");
+        if (env == nullptr)
+            return m;
+        const std::string text(env);
+        std::size_t start = 0;
+        while (start < text.size()) {
+            std::size_t comma = text.find(',', start);
+            if (comma == std::string::npos)
+                comma = text.size();
+            const std::string item =
+                text.substr(start, comma - start);
+            const std::size_t eq = item.find('=');
+            if (eq != std::string::npos && eq > 0) {
+                const int ms =
+                    std::atoi(item.c_str() + eq + 1);
+                if (ms > 0)
+                    m[item.substr(0, eq)] = ms;
+            }
+            start = comma + 1;
+        }
+        return m;
+    }();
+    return delays;
+}
+
+} // namespace
 
 CompilationUnit
 CompilationUnit::forInput(circuit::Circuit in, CompileOptions opts)
@@ -58,6 +105,12 @@ PassManager::run(CompilationUnit &unit) const
         // trace event, so the two can never disagree.
         obs::Span span("pass:" + trace.pass);
         pass->run(unit);
+        if (!passDelaysMs().empty()) {
+            const auto it = passDelaysMs().find(trace.pass);
+            if (it != passDelaysMs().end())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(it->second));
+        }
         trace.seconds = span.stop();
         trace.note = std::move(unit.passNote);
         unit.passNote.clear();

@@ -1,0 +1,295 @@
+#include "obs/log.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "obs/flight.hh"
+#include "obs/span.hh"
+
+namespace reqisc::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Registers on first use, retires at thread exit (cf. span.cc). */
+struct LogBufferHolder
+{
+    detail::LogBuffer *buf = nullptr;
+
+    ~LogBufferHolder()
+    {
+        if (buf != nullptr)
+            buf->logger->retire(buf);
+    }
+};
+
+thread_local LogBufferHolder tlsBuf;
+
+/** Token bucket for one (component, message) key on this thread. */
+struct Bucket
+{
+    double tokens = 0.0;
+    Clock::time_point last;
+    bool init = false;
+};
+
+/**
+ * Per-thread buckets keep the limiter lock-free; the global rate is
+ * therefore bounded by threads x perSec (documented in log.hh).
+ */
+bool rateLimited(Logger &logger, const std::string &component,
+                 const std::string &message)
+{
+    const double perSec = logger.rateLimitPerSec();
+    if (perSec <= 0.0)
+        return false;
+    const double burst =
+        std::max(1.0, logger.rateLimitBurst());
+    thread_local std::unordered_map<std::string, Bucket> buckets;
+    Bucket &b = buckets[component + '\0' + message];
+    const Clock::time_point now = Clock::now();
+    if (!b.init)
+    {
+        b.tokens = burst;
+        b.last = now;
+        b.init = true;
+    }
+    const double dt =
+        std::chrono::duration<double>(now - b.last).count();
+    b.last = now;
+    b.tokens = std::min(burst, b.tokens + dt * perSec);
+    if (b.tokens < 1.0)
+        return true;
+    b.tokens -= 1.0;
+    return false;
+}
+
+void appendEscaped(std::string &out, const std::string &s)
+{
+    for (const char ch : s)
+    {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        if (c == '"' || c == '\\')
+        {
+            out += '\\';
+            out += ch;
+        }
+        else if (c < 0x20)
+        {
+            static const char *hex = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[c >> 4];
+            out += hex[c & 0xf];
+        }
+        else
+        {
+            out += ch;
+        }
+    }
+}
+
+} // namespace
+
+const char *logLevelName(LogLevel level)
+{
+    switch (level)
+    {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "unknown";
+}
+
+bool parseLogLevel(const std::string &text, LogLevel &out)
+{
+    if (text == "debug")
+        out = LogLevel::Debug;
+    else if (text == "info")
+        out = LogLevel::Info;
+    else if (text == "warn")
+        out = LogLevel::Warn;
+    else if (text == "error")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+// ---- Logger ------------------------------------------------------------
+
+Logger &Logger::global()
+{
+    // Leaky: outlives every static/thread_local destructor so late
+    // records during teardown stay safe.
+    static Logger *g = new Logger();
+    return *g;
+}
+
+void Logger::setRateLimit(double perSec, double burst)
+{
+    rateBits_.store(std::bit_cast<std::uint64_t>(perSec),
+                    std::memory_order_relaxed);
+    burstBits_.store(std::bit_cast<std::uint64_t>(burst),
+                     std::memory_order_relaxed);
+}
+
+double Logger::rateLimitPerSec() const
+{
+    return std::bit_cast<double>(
+        rateBits_.load(std::memory_order_relaxed));
+}
+
+double Logger::rateLimitBurst() const
+{
+    return std::bit_cast<double>(
+        burstBits_.load(std::memory_order_relaxed));
+}
+
+detail::LogBuffer &Logger::threadBuffer()
+{
+    if (tlsBuf.buf == nullptr || tlsBuf.buf->logger != this)
+    {
+        auto buf = std::make_unique<detail::LogBuffer>();
+        buf->logger = this;
+        std::lock_guard lock(mu_);
+        buf->tid = nextTid_++;
+        live_.push_back(buf.get());
+        tlsBuf.buf = buf.release();
+    }
+    return *tlsBuf.buf;
+}
+
+void Logger::retire(detail::LogBuffer *buf)
+{
+    std::lock_guard lock(mu_);
+    live_.erase(std::remove(live_.begin(), live_.end(), buf),
+                live_.end());
+    retired_.emplace_back(buf);
+}
+
+void Logger::append(LogRecord &&rec)
+{
+    detail::LogBuffer &buf = threadBuffer();
+    rec.tid = buf.tid;
+    std::lock_guard lock(buf.mu);
+    buf.records.push_back(std::move(rec));
+}
+
+std::vector<LogRecord> Logger::collect()
+{
+    std::vector<LogRecord> out;
+    std::lock_guard lock(mu_);
+    for (detail::LogBuffer *buf : live_)
+    {
+        std::lock_guard bufLock(buf->mu);
+        out.insert(out.end(), buf->records.begin(),
+                   buf->records.end());
+    }
+    for (const auto &buf : retired_)
+    {
+        std::lock_guard bufLock(buf->mu);
+        out.insert(out.end(), buf->records.begin(),
+                   buf->records.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const LogRecord &a, const LogRecord &b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    return out;
+}
+
+void Logger::clear()
+{
+    std::lock_guard lock(mu_);
+    for (detail::LogBuffer *buf : live_)
+    {
+        std::lock_guard bufLock(buf->mu);
+        buf->records.clear();
+    }
+    retired_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Free functions ----------------------------------------------------
+
+void log(LogLevel level, const std::string &component,
+         const std::string &message, LogFields fields)
+{
+    // The flight recorder sees every call — including records the
+    // logger is about to filter — so crash dumps keep debug chatter.
+    flight::record(flight::Kind::Log, component.c_str(),
+                   message.c_str(), 0.0,
+                   static_cast<int>(level));
+
+    Logger &logger = Logger::global();
+    if (!logger.enabled())
+        return;
+    if (static_cast<std::uint8_t>(level) <
+        static_cast<std::uint8_t>(logger.minLevel()))
+        return;
+    if (rateLimited(logger, component, message))
+    {
+        logger.noteDropped();
+        return;
+    }
+
+    LogRecord rec;
+    rec.level = level;
+    rec.tsNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - Tracer::global().epoch())
+                   .count();
+    if (rec.tsNs < 0)
+        rec.tsNs = 0;
+    rec.component = component;
+    rec.message = message;
+    rec.job = currentJobName();
+    rec.fields = std::move(fields);
+    logger.append(std::move(rec));
+}
+
+std::string jsonLines(const std::vector<LogRecord> &records)
+{
+    std::string out;
+    out.reserve(records.size() * 128);
+    for (const LogRecord &r : records)
+    {
+        out += "{\"tsNs\":" + std::to_string(r.tsNs);
+        out += ",\"level\":\"";
+        out += logLevelName(r.level);
+        out += "\",\"tid\":" + std::to_string(r.tid);
+        out += ",\"component\":\"";
+        appendEscaped(out, r.component);
+        out += "\"";
+        if (!r.job.empty())
+        {
+            out += ",\"job\":\"";
+            appendEscaped(out, r.job);
+            out += "\"";
+        }
+        out += ",\"msg\":\"";
+        appendEscaped(out, r.message);
+        out += "\",\"fields\":{";
+        bool first = true;
+        for (const auto &[k, v] : r.fields)
+        {
+            if (!first)
+                out += ',';
+            first = false;
+            out += "\"";
+            appendEscaped(out, k);
+            out += "\":\"";
+            appendEscaped(out, v);
+            out += "\"";
+        }
+        out += "}}\n";
+    }
+    return out;
+}
+
+} // namespace reqisc::obs

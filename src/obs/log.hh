@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Leveled structured logging: JSON-lines records (timestamp,
+ * thread, level, component, message, key/value fields, current job)
+ * buffered per thread and merged by the sink at export time.
+ *
+ * Model mirrors obs/span.hh's tracer: each thread owns a record
+ * buffer registered with the Logger on first use and retired (handed
+ * back) at thread exit, so records written on short-lived pool
+ * threads survive into collect(). The logger is a leaky singleton,
+ * *disabled* by default — reqisc-compile enables it via
+ * --log-out FILE (with --log-level LVL severity filtering) and
+ * writes the JSON-lines file at exit; a future daemon would stream
+ * collect() instead. Independent of obs::setEnabled(): logging can
+ * be on with tracing off and vice versa.
+ *
+ * Every log() call additionally feeds the always-on flight recorder
+ * (before the enabled/severity/rate checks), so the last few hundred
+ * records — including filtered debug chatter — are always available
+ * in a crash or job-failure dump.
+ *
+ * Hot paths are protected by a token-bucket rate limiter keyed on
+ * (component, message) per thread: each key accrues
+ * rateLimitPerSec() tokens per second up to rateLimitBurst(); a
+ * record that finds no token is counted in droppedCount() and
+ * otherwise ignored. Per-thread buckets make the global bound
+ * approximate (threads x rate) but keep the hot path lock-free.
+ *
+ * Timestamps are steady-clock nanoseconds since the tracer epoch
+ * (the repo-wide clock discipline; also makes log records line up
+ * with trace spans and flight events on one timeline).
+ */
+
+#ifndef REQISC_OBS_LOG_HH
+#define REQISC_OBS_LOG_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reqisc::obs
+{
+
+enum class LogLevel : std::uint8_t
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Lower-case wire name ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a wire name (case-sensitive); false on unknown input. */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/** One structured record, ready for export. */
+struct LogRecord
+{
+    LogLevel level = LogLevel::Info;
+    std::int64_t tsNs = 0;  //!< steady ns since the tracer epoch
+    std::uint32_t tid = 0;  //!< dense per-thread logger index
+    std::string component;
+    std::string message;
+    std::string job;  //!< JobScope name at the call ("" = none)
+    LogFields fields;
+};
+
+namespace detail
+{
+struct LogBuffer;
+}
+
+/** Process-wide record sink; see @file for the model. */
+class Logger
+{
+  public:
+    Logger() = default;
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+    /** Leaky singleton (safe to use from static destructors). */
+    static Logger &global();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Records below this severity are discarded (default Info). */
+    void setMinLevel(LogLevel level)
+    {
+        minLevel_.store(static_cast<std::uint8_t>(level),
+                        std::memory_order_relaxed);
+    }
+    LogLevel minLevel() const
+    {
+        return static_cast<LogLevel>(
+            minLevel_.load(std::memory_order_relaxed));
+    }
+
+    /**
+     * Token-bucket limit per (component, message) key per thread.
+     * perSec <= 0 disables limiting. Default: 100/s, burst 200.
+     */
+    void setRateLimit(double perSec, double burst);
+    double rateLimitPerSec() const;
+    double rateLimitBurst() const;
+
+    /** Records discarded by the rate limiter since start/clear. */
+    std::uint64_t droppedCount() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Copy out every buffered record (live and retired threads),
+     * sorted by timestamp.
+     */
+    std::vector<LogRecord> collect();
+
+    /** Drop all buffered records and reset the dropped counter. */
+    void clear();
+
+    /** Internal: append a finished record (log() calls this). */
+    void append(LogRecord &&rec);
+
+    /** Internal: count a record discarded by the rate limiter. */
+    void noteDropped()
+    {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Internal: hand a thread's buffer back at thread exit. */
+    void retire(detail::LogBuffer *buf);
+
+  private:
+    detail::LogBuffer &threadBuffer();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint8_t> minLevel_{
+        static_cast<std::uint8_t>(LogLevel::Info)};
+    std::atomic<std::uint64_t> rateBits_{
+        std::bit_cast<std::uint64_t>(100.0)};
+    std::atomic<std::uint64_t> burstBits_{
+        std::bit_cast<std::uint64_t>(200.0)};
+    std::atomic<std::uint64_t> dropped_{0};
+
+    std::mutex mu_;  //!< buffer lists + tid assignment
+    std::uint32_t nextTid_ = 0;
+    std::vector<detail::LogBuffer *> live_;
+    std::vector<std::unique_ptr<detail::LogBuffer>> retired_;
+};
+
+namespace detail
+{
+
+/** Per-thread record buffer (mirrors span.hh's ThreadLog). */
+struct LogBuffer
+{
+    Logger *logger = nullptr;
+    std::uint32_t tid = 0;
+    std::mutex mu;  //!< records only
+    std::vector<LogRecord> records;
+};
+
+} // namespace detail
+
+/**
+ * Emit one structured record to Logger::global() (and, always, to
+ * the flight recorder). The current JobScope name is attached
+ * automatically.
+ */
+void log(LogLevel level, const std::string &component,
+         const std::string &message, LogFields fields = {});
+
+/**
+ * Serialize records as JSON lines — one object per line:
+ * {"tsNs":N,"level":"info","tid":T,"component":"...","job":"...",
+ *  "msg":"...","fields":{"k":"v",...}}
+ * ("job" is omitted when empty; "fields" is always present.)
+ */
+std::string jsonLines(const std::vector<LogRecord> &records);
+
+} // namespace reqisc::obs
+
+#endif // REQISC_OBS_LOG_HH

@@ -4,8 +4,11 @@
 #include <bit>
 #include <charconv>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <system_error>
+
+#include "obs/flight.hh"
 
 namespace reqisc::obs
 {
@@ -53,6 +56,18 @@ Counter::Counter(std::string name, std::string help,
 {
 }
 
+void Counter::add(std::int64_t n)
+{
+    // The flight recorder sees every delta regardless of whether
+    // the (opt-in) registry is collecting.
+    flight::record(flight::Kind::Counter, name_.c_str(), "",
+                   static_cast<double>(n));
+    if (!enabled_->load(std::memory_order_relaxed))
+        return;
+    cells_[detail::threadSlot()].v.fetch_add(
+        n, std::memory_order_relaxed);
+}
+
 std::int64_t Counter::value() const
 {
     std::int64_t total = 0;
@@ -72,6 +87,7 @@ Gauge::Gauge(std::string name, std::string help,
 
 void Gauge::set(double v)
 {
+    flight::record(flight::Kind::Gauge, name_.c_str(), "", v);
     if (!enabled_->load(std::memory_order_relaxed))
         return;
     bits_.store(std::bit_cast<std::uint64_t>(v),
@@ -80,6 +96,7 @@ void Gauge::set(double v)
 
 void Gauge::add(double d)
 {
+    flight::record(flight::Kind::Gauge, name_.c_str(), "delta", d);
     if (!enabled_->load(std::memory_order_relaxed))
         return;
     std::uint64_t cur = bits_.load(std::memory_order_relaxed);
@@ -125,6 +142,7 @@ Histogram::Histogram(std::string name, std::string help,
 
 void Histogram::observe(double v)
 {
+    flight::record(flight::Kind::Histogram, name_.c_str(), "", v);
     if (!enabled_->load(std::memory_order_relaxed))
         return;
     // First bound >= v, i.e. the Prometheus `le` bucket; past-the-end
@@ -142,8 +160,9 @@ void Histogram::observe(double v)
 
 double HistogramSnapshot::quantile(double q) const
 {
+    // No samples -> no quantiles: NaN sentinel (see metrics.hh).
     if (count == 0 || bounds.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     q = std::clamp(q, 0.0, 1.0);
     const double rank = q * static_cast<double>(count);
     std::uint64_t cum = 0;

@@ -68,13 +68,11 @@ class Registry;
 class Counter
 {
   public:
-    void add(std::int64_t n = 1)
-    {
-        if (!enabled_->load(std::memory_order_relaxed))
-            return;
-        cells_[detail::threadSlot()].v.fetch_add(
-            n, std::memory_order_relaxed);
-    }
+    /**
+     * Out of line (unlike PR 7) so every delta also reaches the
+     * always-on flight recorder before the registry enabled check.
+     */
+    void add(std::int64_t n = 1);
     void inc() { add(1); }
 
     /** Merged value over all thread cells. */
@@ -167,8 +165,14 @@ struct HistogramSnapshot
      * q-rank falls in and interpolate linearly inside it (lower edge
      * of the first bucket is 0 — observations are assumed
      * non-negative, which every time-valued metric here satisfies).
-     * Ranks beyond the last finite bound return that bound. Returns
-     * 0 for an empty histogram.
+     * Ranks beyond the last finite bound return that bound.
+     *
+     * An empty histogram (count == 0) has no quantiles: returns
+     * quiet NaN — the same sentinel Prometheus's
+     * histogram_quantile() yields with no samples — so a consumer
+     * (obsreport) can distinguish "no data" from a genuine 0-valued
+     * quantile instead of dividing by a zero count. Check with
+     * std::isnan before using the result.
      */
     double quantile(double q) const;
 };

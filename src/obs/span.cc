@@ -1,6 +1,9 @@
 #include "obs/span.hh"
 
 #include <algorithm>
+#include <cstring>
+
+#include "obs/flight.hh"
 
 namespace reqisc::obs
 {
@@ -9,6 +12,22 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Current JobScope name. A fixed trivially-destructible buffer (not
+ * a std::string) so instrumentation running during thread/process
+ * teardown can still read it safely; sized to the flight-event job
+ * field so every consumer sees the same truncation.
+ */
+thread_local char tlsJob[flight::kJobBytes] = {};
+
+void setTlsJob(const char *s, std::size_t len)
+{
+    const std::size_t n =
+        len < sizeof(tlsJob) - 1 ? len : sizeof(tlsJob) - 1;
+    std::memcpy(tlsJob, s, n);
+    tlsJob[n] = '\0';
+}
 
 std::int64_t nsSince(SteadyTime epoch, SteadyTime t)
 {
@@ -115,6 +134,8 @@ Span::Span(std::string name) : name_(std::move(name))
 {
     open({}, /*useStackParent=*/true);
     start_ = Clock::now();
+    flight::recordAt(start_, flight::Kind::SpanBegin,
+                     name_.c_str());
 }
 
 Span::Span(std::string name, SpanContext parent)
@@ -122,12 +143,16 @@ Span::Span(std::string name, SpanContext parent)
 {
     open(parent, /*useStackParent=*/false);
     start_ = Clock::now();
+    flight::recordAt(start_, flight::Kind::SpanBegin,
+                     name_.c_str());
 }
 
 Span::Span(std::string name, SteadyTime start)
     : name_(std::move(name)), start_(start)
 {
     open({}, /*useStackParent=*/true);
+    flight::recordAt(start_, flight::Kind::SpanBegin,
+                     name_.c_str());
 }
 
 void Span::open(SpanContext explicitParent, bool useStackParent)
@@ -142,13 +167,18 @@ void Span::open(SpanContext explicitParent, bool useStackParent)
     else
         parent_ = explicitParent.id;
     log.stack.push_back(id_);
+    // Annotation inheritance: spans opened under a JobScope carry
+    // the job name so traces correlate with logs/flight dumps.
+    if (tlsJob[0] != '\0')
+        args_.emplace_back("job", tlsJob);
 }
 
 Span::~Span()
 {
-    // Inert spans skip the clock read entirely: callers that need
-    // the duration despite disabled tracing call stop() themselves.
-    if (!stopped_ && id_ != 0)
+    // Inert spans skip the clock read entirely unless the flight
+    // recorder wants the end event; callers that need the duration
+    // despite disabled tracing call stop() themselves.
+    if (!stopped_ && (id_ != 0 || flight::enabled()))
         stop();
 }
 
@@ -159,6 +189,12 @@ double Span::stop()
     stopped_ = true;
     const SteadyTime end = Clock::now();
     seconds_ = std::chrono::duration<double>(end - start_).count();
+    flight::recordAt(
+        end, flight::Kind::SpanEnd, name_.c_str(), "",
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start_)
+                .count()));
     if (id_ == 0)
         return seconds_;
 
@@ -199,6 +235,12 @@ void Span::annotate(const std::string &key,
 void recordSpan(const std::string &name, SteadyTime start,
                 SteadyTime end, SpanContext parent)
 {
+    flight::recordAt(
+        end, flight::Kind::SpanEnd, name.c_str(), "",
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count()));
     Tracer &tracer = Tracer::global();
     if (!tracer.enabled())
         return;
@@ -225,6 +267,23 @@ SpanContext currentSpan()
         return {};
     detail::ThreadLog &log = tracer.threadLog();
     return {log.stack.empty() ? 0 : log.stack.back()};
+}
+
+// ---- Job attribution ---------------------------------------------------
+
+const char *currentJobName()
+{
+    return tlsJob;
+}
+
+JobScope::JobScope(const std::string &job) : prev_(tlsJob)
+{
+    setTlsJob(job.data(), job.size());
+}
+
+JobScope::~JobScope()
+{
+    setTlsJob(prev_.data(), prev_.size());
 }
 
 } // namespace reqisc::obs

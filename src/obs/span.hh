@@ -195,6 +195,37 @@ void recordSpan(const std::string &name, SteadyTime start,
 /** Innermost live span on this thread ({0} if none/disabled). */
 SpanContext currentSpan();
 
+/**
+ * Name of the job this thread is currently working under ("" when
+ * outside any JobScope). Stored in a fixed, trivially-destructible
+ * thread-local buffer so it stays readable from late/teardown
+ * instrumentation paths. Spans opened inside a scope auto-annotate
+ * themselves with job=<name>, and the flight recorder + structured
+ * logger stamp it on every record, so traces, logs and flight dumps
+ * all correlate by job without manual matching.
+ */
+const char *currentJobName();
+
+/**
+ * RAII job attribution scope: everything this thread records between
+ * construction and destruction (spans, log records, flight events —
+ * and, via BlockPool's capture, block tasks fanned out to helper
+ * threads) carries this job name. Scopes nest; the previous name is
+ * restored on destruction. Names longer than the flight-event job
+ * field (31 chars) are truncated consistently everywhere.
+ */
+class JobScope
+{
+  public:
+    explicit JobScope(const std::string &job);
+    JobScope(const JobScope &) = delete;
+    JobScope &operator=(const JobScope &) = delete;
+    ~JobScope();
+
+  private:
+    std::string prev_;
+};
+
 } // namespace reqisc::obs
 
 #endif // REQISC_OBS_SPAN_HH

@@ -362,7 +362,13 @@ SynthCache::save(const std::string &path) const
         w.f64(e.solveSeconds);
         w.i64(e.uses);
     }
-    return w.commit(path);
+    const bool ok = w.commit(path);
+    obs::log(ok ? obs::LogLevel::Info : obs::LogLevel::Warn,
+             "persist",
+             ok ? "synth cache saved" : "synth cache save failed",
+             {{"path", path},
+              {"entries", std::to_string(snapshot.size())}});
+    return ok;
 }
 
 bool
@@ -370,16 +376,28 @@ SynthCache::load(const std::string &path)
 {
     obs::Span span("persist:synth-load");
     std::string data;
-    if (!persist::Reader::slurp(path, data))
+    if (!persist::Reader::slurp(path, data)) {
+        obs::log(obs::LogLevel::Debug, "persist",
+                 "synth cache file absent; cold start",
+                 {{"path", path}});
         return false;
+    }
     persist::Reader r(std::move(data));
-    if (!r.verifyChecksum())
+    if (!r.verifyChecksum()) {
+        obs::log(obs::LogLevel::Warn, "persist",
+                 "synth cache rejected: bad checksum; cold start",
+                 {{"path", path}});
         return false;
+    }
     std::uint32_t magic, version;
-    if (!r.u32(magic) || magic != kSynthMagic)
+    if (!r.u32(magic) || magic != kSynthMagic ||
+        !r.u32(version) || version != kSynthFormatVersion) {
+        obs::log(obs::LogLevel::Warn, "persist",
+                 "synth cache rejected: format mismatch; cold "
+                 "start",
+                 {{"path", path}});
         return false;
-    if (!r.u32(version) || version != kSynthFormatVersion)
-        return false;
+    }
     double scale;
     if (!r.f64(scale) || !sameBits(scale, kFingerprintScale))
         return false;
@@ -440,6 +458,9 @@ SynthCache::load(const std::string &path)
         shard.entries.emplace(h, std::move(e));
         evictIfNeeded(shard);
     }
+    obs::log(obs::LogLevel::Info, "persist", "synth cache loaded",
+             {{"path", path},
+              {"entries", std::to_string(parsed.size())}});
     return true;
 }
 
@@ -651,7 +672,13 @@ PulseCache::save(const std::string &path) const
         w.f64(e.solveSeconds);
         w.i64(e.uses);
     }
-    return w.commit(path);
+    const bool ok = w.commit(path);
+    obs::log(ok ? obs::LogLevel::Info : obs::LogLevel::Warn,
+             "persist",
+             ok ? "pulse cache saved" : "pulse cache save failed",
+             {{"path", path},
+              {"entries", std::to_string(snapshot.size())}});
+    return ok;
 }
 
 bool
@@ -659,16 +686,28 @@ PulseCache::load(const std::string &path)
 {
     obs::Span span("persist:pulse-load");
     std::string data;
-    if (!persist::Reader::slurp(path, data))
+    if (!persist::Reader::slurp(path, data)) {
+        obs::log(obs::LogLevel::Debug, "persist",
+                 "pulse cache file absent; cold start",
+                 {{"path", path}});
         return false;
+    }
     persist::Reader r(std::move(data));
-    if (!r.verifyChecksum())
+    if (!r.verifyChecksum()) {
+        obs::log(obs::LogLevel::Warn, "persist",
+                 "pulse cache rejected: bad checksum; cold start",
+                 {{"path", path}});
         return false;
+    }
     std::uint32_t magic, version;
-    if (!r.u32(magic) || magic != kPulseMagic)
+    if (!r.u32(magic) || magic != kPulseMagic ||
+        !r.u32(version) || version != kPulseFormatVersion) {
+        obs::log(obs::LogLevel::Warn, "persist",
+                 "pulse cache rejected: format mismatch; cold "
+                 "start",
+                 {{"path", path}});
         return false;
-    if (!r.u32(version) || version != kPulseFormatVersion)
-        return false;
+    }
     double a, b, c, tol;
     if (!r.f64(a) || !r.f64(b) || !r.f64(c) || !r.f64(tol))
         return false;
@@ -737,6 +776,9 @@ PulseCache::load(const std::string &path)
         entries_.emplace(h, std::move(e));
         evictIfNeeded();
     }
+    obs::log(obs::LogLevel::Info, "persist", "pulse cache loaded",
+             {{"path", path},
+              {"entries", std::to_string(parsed.size())}});
     return true;
 }
 

@@ -69,6 +69,9 @@ struct CliOptions
     bool emitIsa = false;        //!< dump RQISA assembly (implies schedule)
     std::string traceOut;        //!< Chrome trace JSON; "" = off
     std::string metricsOut;      //!< Prometheus exposition; "" = off
+    std::string logOut;          //!< JSON-lines log file; "" = off
+    std::string logLevel = "info";  //!< min severity for --log-out
+    std::string flightDump;      //!< flight-recorder dump; "" = off
 };
 
 void
@@ -126,6 +129,20 @@ printUsage(std::ostream &os)
           "  --metrics-out FILE    write a Prometheus-exposition "
           "snapshot of\n"
           "                        the service metrics at exit\n"
+          "  --log-out FILE        write structured JSON-lines logs "
+          "(job\n"
+          "                        lifecycle, cache persistence, "
+          "errors) at exit\n"
+          "  --log-level LVL       minimum severity for --log-out: "
+          "debug,\n"
+          "                        info (default), warn or error\n"
+          "  --flight-dump FILE    write the always-on flight "
+          "recorder's\n"
+          "                        last-events dump at exit; the "
+          "same file\n"
+          "                        is written on job failure and on "
+          "fatal\n"
+          "                        signals (SIGSEGV etc.)\n"
           "  --stats               print cache statistics\n"
           "  --json                machine-readable output\n"
           "  --version             print the version and exit\n"
@@ -276,6 +293,28 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!v)
                 return false;
             cli.metricsOut = v;
+        } else if (arg == "--log-out") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.logOut = v;
+        } else if (arg == "--log-level") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            obs::LogLevel parsed;
+            if (!obs::parseLogLevel(v, parsed)) {
+                std::cerr << "reqisc-compile: --log-level: "
+                             "expected debug|info|warn|error, got '"
+                          << v << "'\n";
+                return false;
+            }
+            cli.logLevel = v;
+        } else if (arg == "--flight-dump") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.flightDump = v;
         } else if (arg == "--stats") {
             cli.stats = true;
         } else if (arg == "--json") {
@@ -429,6 +468,18 @@ main(int argc, char **argv)
     // Observability is opt-in: near-zero-cost no-ops otherwise.
     if (!cli.traceOut.empty() || !cli.metricsOut.empty())
         obs::setEnabled(true);
+    if (!cli.logOut.empty()) {
+        obs::LogLevel level = obs::LogLevel::Info;
+        obs::parseLogLevel(cli.logLevel, level);  // validated above
+        obs::Logger::global().setMinLevel(level);
+        obs::Logger::global().setEnabled(true);
+    }
+    // The flight recorder itself is always on; the flag arms the
+    // dump triggers (job failure, fatal signal, exit).
+    if (!cli.flightDump.empty()) {
+        obs::flight::setDumpPath(cli.flightDump);
+        obs::flight::installSignalHandlers();
+    }
 
     service::ServiceOptions sopts;
     sopts.threads = cli.jobs;
@@ -730,6 +781,27 @@ main(int argc, char **argv)
                       << "\n";
             return 1;
         }
+    }
+    if (!cli.logOut.empty()) {
+        std::string error;
+        if (!obs::writeTextFile(
+                cli.logOut,
+                obs::jsonLines(obs::Logger::global().collect()),
+                error)) {
+            std::cerr << "reqisc-compile: --log-out: " << error
+                      << "\n";
+            return 1;
+        }
+    }
+    // Written last so a failed run leaves the job-failure dump's
+    // context in place alongside the exit snapshot (same rings; the
+    // exit dump still contains the failure's final events).
+    if (!cli.flightDump.empty() &&
+        !obs::flight::dumpNow(failures ? "exit-after-failure"
+                                       : "exit")) {
+        std::cerr << "reqisc-compile: --flight-dump: cannot write "
+                  << cli.flightDump << "\n";
+        return 1;
     }
 
     return failures ? 1 : 0;

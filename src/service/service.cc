@@ -198,6 +198,12 @@ CompileService::CompileService(ServiceOptions opts)
     if (block_workers > 1)
         blockPool_ =
             std::make_unique<synth::BlockPool>(block_workers - 1);
+    obs::log(obs::LogLevel::Info, "service", "service started",
+             {{"threads", std::to_string(threads_)},
+              {"blockWorkers", std::to_string(block_workers)},
+              {"synthCache", synthCache_ ? "on" : "off"},
+              {"pulseCache", pulseCache_ ? "on" : "off"},
+              {"cacheDir", opts_.cacheDir}});
     workers_.reserve(threads_);
     for (int i = 0; i < threads_; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -348,9 +354,17 @@ CompileService::runJob(const Job &job)
     JobResult res;
     res.id = job.id;
     res.name = job.req.name;
-    obs::Span jobSpan("job:" + (job.req.name.empty()
+    const std::string jobName = job.req.name.empty()
                                     ? std::to_string(job.id)
-                                    : job.req.name));
+                                    : job.req.name;
+    // Everything recorded under this scope — spans, log records,
+    // flight events, even block tasks fanned out to pool threads —
+    // carries job=<name> for cross-artifact correlation.
+    obs::JobScope jobScope(jobName);
+    obs::log(obs::LogLevel::Debug, "service", "job started",
+             {{"id", std::to_string(job.id)}, {"name", jobName}});
+    obs::Span jobSpan("job:" + jobName);
+    jobSpan.annotate("id", std::to_string(job.id));
     obs::recordSpan("queue-wait", job.enqueuedAt,
                     std::chrono::steady_clock::now(),
                     jobSpan.context());
@@ -479,6 +493,23 @@ CompileService::runJob(const Job &job)
     ServiceMetrics &m = serviceMetrics();
     m.jobSeconds->observe(res.seconds);
     (res.ok ? m.jobsCompleted : m.jobsFailed)->inc();
+    if (res.ok) {
+        obs::log(obs::LogLevel::Info, "service", "job completed",
+                 {{"id", std::to_string(job.id)},
+                  {"name", jobName},
+                  {"seconds", std::to_string(res.seconds)},
+                  {"passes",
+                   std::to_string(res.metrics.passes.size())}});
+    } else {
+        obs::log(obs::LogLevel::Error, "service", "job failed",
+                 {{"id", std::to_string(job.id)},
+                  {"name", jobName},
+                  {"seconds", std::to_string(res.seconds)},
+                  {"error", res.error}});
+        // Black-box dump: the final spans + error record of the
+        // failing job are still in the rings right now.
+        obs::flight::dumpNow("job-failure");
+    }
     return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 
 namespace reqisc::synth
@@ -59,6 +60,8 @@ BlockPool::BlockPool(int helper_threads)
     for (int i = 0; i < helper_threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     poolMetrics().workers->set(workers());
+    obs::log(obs::LogLevel::Info, "blockpool", "pool started",
+             {{"helpers", std::to_string(helperThreads())}});
 }
 
 BlockPool::~BlockPool()
@@ -80,6 +83,7 @@ void BlockPool::noteQueueDepth() const
 
 void BlockPool::execute(Item &item)
 {
+    obs::JobScope jobScope(item.job);
     obs::Span span("block-task", item.parent);
     try
     {
@@ -87,6 +91,8 @@ void BlockPool::execute(Item &item)
     }
     catch (...)
     {
+        obs::log(obs::LogLevel::Error, "blockpool",
+                 "block task failed");
         std::lock_guard<std::mutex> lock(item.batch->mu);
         if (!item.batch->error)
             item.batch->error = std::current_exception();
@@ -140,13 +146,15 @@ void BlockPool::run(std::vector<std::function<void()>> tasks)
     auto batch = std::make_shared<Batch>();
     batch->remaining = tasks.size();
     // Tasks may execute on helper threads whose span stacks know
-    // nothing about this job; carry the caller's innermost span so
-    // block-task events still parent onto it.
+    // nothing about this job; carry the caller's innermost span and
+    // job name so block-task events still parent and attribute onto
+    // it.
     const obs::SpanContext parent = obs::currentSpan();
+    const std::string job = obs::currentJobName();
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto &t : tasks)
-            queue_.push_back(Item{std::move(t), batch, parent});
+            queue_.push_back(Item{std::move(t), batch, parent, job});
         noteQueueDepth();
     }
     cv_.notify_all();

@@ -93,6 +93,10 @@ class BlockPool
         /** Span of the run() caller, so each executed task can be
          *  traced as its child even on a helper thread. */
         obs::SpanContext parent;
+        /** JobScope name of the run() caller, re-entered on the
+         *  executing thread so block-task spans / logs / flight
+         *  events keep their job attribution across threads. */
+        std::string job;
     };
 
     void execute(Item &item);

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -84,9 +85,10 @@ TEST(ObsHistogram, QuantileEdgeCases)
     enabledRegistry(reg);
     obs::Histogram *h =
         reg.histogram("e", "test", {1.0, 2.0});
-    // Empty histogram -> 0.
-    EXPECT_DOUBLE_EQ(reg.snapshot().histograms[0].quantile(0.5),
-                     0.0);
+    // Empty histogram -> NaN (the "no samples" sentinel, matching
+    // Prometheus histogram_quantile; consumers check std::isnan).
+    EXPECT_TRUE(
+        std::isnan(reg.snapshot().histograms[0].quantile(0.5)));
     // Everything in the overflow bucket -> best bounded estimate is
     // the largest finite bound.
     h->observe(100.0);
