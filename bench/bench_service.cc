@@ -30,6 +30,7 @@
 
 #include <algorithm>
 
+#include "backend/json.hh"
 #include "common.hh"
 #include "compiler/metrics.hh"
 #include "obs/obs.hh"
@@ -204,37 +205,52 @@ main(int argc, char **argv)
                                         off_runs.end());
         }
 
-        std::printf("{\n  \"circuits\": %zu,\n", batch_size);
-        std::printf("  \"coldSeconds\": %.6f,\n", cold_secs);
-        std::printf("  \"warmSeconds\": %.6f,\n", warm_secs);
-        std::printf("  \"memoSpeedup\": %.6f,\n",
-                    warm_secs > 0.0 ? cold_secs / warm_secs : 0.0);
-        std::printf("  \"parallelSynthSpeedup\": %.6f,\n",
-                    hier_parallel > 0.0 ? hier_serial / hier_parallel
-                                        : 0.0);
-        std::printf("  \"persistentWarmSpeedup\": %.6f,\n",
-                    persist_warm > 0.0 ? persist_cold / persist_warm
-                                       : 0.0);
-        std::printf(
-            "  \"persistentHierSynthSpeedup\": %.6f,\n",
-            persist_warm_hier > 0.0
-                ? persist_cold_hier / persist_warm_hier
-                : 0.0);
-        std::printf("  \"obsOverhead\": %.6f,\n",
-                    obs_off > 0.0 ? obs_on / obs_off : 0.0);
-        std::printf("  \"obsEfficiency\": %.6f,\n",
-                    obs_on > 0.0 ? obs_off / obs_on : 0.0);
-        std::printf("  \"passSecondsTotal\": %.6f,\n", total);
-        std::printf("  \"passes\": {\n");
-        for (std::size_t i = 0; i < agg.size(); ++i) {
-            std::printf(
-                "    \"%s\": {\"seconds\": %.6f, \"share\": "
-                "%.6f}%s\n",
-                agg[i].pass.c_str(), agg[i].seconds,
-                total > 0.0 ? agg[i].seconds / total : 0.0,
-                i + 1 < agg.size() ? "," : "");
+        // Emitted through the shared JsonValue builders (the v1
+        // wire-schema emitter, service/api.hh) like every other
+        // --json surface; key names are pinned by the baselines
+        // guard and must not drift.
+        using backend::JsonValue;
+        JsonValue doc = JsonValue::makeObject();
+        doc.set("circuits", JsonValue::makeNumber(
+                                static_cast<double>(batch_size)));
+        doc.set("coldSeconds", JsonValue::makeNumber(cold_secs));
+        doc.set("warmSeconds", JsonValue::makeNumber(warm_secs));
+        doc.set("memoSpeedup",
+                JsonValue::makeNumber(
+                    warm_secs > 0.0 ? cold_secs / warm_secs : 0.0));
+        doc.set("parallelSynthSpeedup",
+                JsonValue::makeNumber(
+                    hier_parallel > 0.0
+                        ? hier_serial / hier_parallel
+                        : 0.0));
+        doc.set("persistentWarmSpeedup",
+                JsonValue::makeNumber(
+                    persist_warm > 0.0
+                        ? persist_cold / persist_warm
+                        : 0.0));
+        doc.set("persistentHierSynthSpeedup",
+                JsonValue::makeNumber(
+                    persist_warm_hier > 0.0
+                        ? persist_cold_hier / persist_warm_hier
+                        : 0.0));
+        doc.set("obsOverhead",
+                JsonValue::makeNumber(
+                    obs_off > 0.0 ? obs_on / obs_off : 0.0));
+        doc.set("obsEfficiency",
+                JsonValue::makeNumber(
+                    obs_on > 0.0 ? obs_off / obs_on : 0.0));
+        doc.set("passSecondsTotal", JsonValue::makeNumber(total));
+        JsonValue passes = JsonValue::makeObject();
+        for (const compiler::PassAggregate &a : agg) {
+            JsonValue p = JsonValue::makeObject();
+            p.set("seconds", JsonValue::makeNumber(a.seconds));
+            p.set("share",
+                  JsonValue::makeNumber(
+                      total > 0.0 ? a.seconds / total : 0.0));
+            passes.set(a.pass, std::move(p));
         }
-        std::printf("  }\n}\n");
+        doc.set("passes", std::move(passes));
+        std::fputs(backend::dumpJson(doc, true).c_str(), stdout);
         return 0;
     }
 

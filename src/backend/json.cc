@@ -1,6 +1,7 @@
 #include "backend/json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +16,69 @@ JsonValue::find(const std::string &key) const
         if (k == key)
             found = &v;
     return found;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.number = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind = Kind::String;
+    v.str = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    object.emplace_back(key, std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    array.push_back(std::move(v));
+    return *this;
 }
 
 const char *
@@ -281,6 +345,103 @@ jsonEscape(const std::string &s)
             }
         }
     }
+    return out;
+}
+
+namespace
+{
+
+/** %.17g, except exact doubles in the integer-safe range print as
+ *  integers (stable keys like counts stay grep-able). */
+std::string
+formatNumber(double n)
+{
+    if (!std::isfinite(n))
+        return "null";
+    constexpr double kSafe = 9007199254740992.0;  // 2^53
+    if (n == std::floor(n) && std::fabs(n) < kSafe) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(n));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    return buf;
+}
+
+void
+dumpValue(const JsonValue &v, bool pretty, int depth,
+          std::string &out)
+{
+    const auto newline = [&](int d) {
+        if (!pretty)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(d) * 2, ' ');
+    };
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        out += formatNumber(v.number);
+        break;
+      case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.str);
+        out += '"';
+        break;
+      case JsonValue::Kind::Array:
+        if (v.array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            dumpValue(v.array[i], pretty, depth + 1, out);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case JsonValue::Kind::Object:
+        if (v.object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < v.object.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(v.object[i].first);
+            out += "\":";
+            if (pretty)
+                out += ' ';
+            dumpValue(v.object[i].second, pretty, depth + 1, out);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+dumpJson(const JsonValue &v, bool pretty)
+{
+    std::string out;
+    dumpValue(v, pretty, 0, out);
+    if (pretty)
+        out += '\n';
     return out;
 }
 

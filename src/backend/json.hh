@@ -1,10 +1,11 @@
 /**
  * @file
- * Minimal JSON reader for chip description files.
+ * Minimal JSON reader/writer: chip description files on the way in,
+ * every --json summary and daemon wire response on the way out
+ * (built as JsonValue trees and serialized by dumpJson).
  *
- * Hand-rolled on purpose: the repo's only JSON *input* is the backend
- * chip files, and the container build must not grow third-party
- * dependencies. Supports the JSON value grammar (objects, arrays,
+ * Hand-rolled on purpose: the container build must not grow
+ * third-party dependencies. Supports the JSON value grammar (objects, arrays,
  * strings with the common escapes, numbers, true/false/null) and
  * tracks the source line of every value so schema validation can
  * report `file:line: field ...` errors (tests/test_backend.cc pins
@@ -70,6 +71,23 @@ class JsonValue
     const JsonValue *find(const std::string &key) const;
 
     static const char *kindName(Kind k);
+
+    // ----- Builders (the emit-side tree constructors) -------------------
+    // Every JSON document the repo writes (CLI --json, the daemon's
+    // wire responses, bench summaries) is assembled as a JsonValue
+    // tree and serialized by dumpJson, so there is exactly one
+    // emitter to keep correct.
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    /** Append an object member (no duplicate-key check; see @file). */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Append an array element. */
+    JsonValue &push(JsonValue v);
 };
 
 /**
@@ -86,6 +104,15 @@ JsonValue parseJson(const std::string &text,
  * shared by reqisc-compile and the --json bench summaries.
  */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Serialize a JsonValue tree. Numbers that hold an exact integer in
+ * the double-safe range print without a decimal point; everything
+ * else uses %.17g (round-trip exact through parseJson). Non-finite
+ * numbers (no JSON spelling) serialize as null. `pretty` indents
+ * with two spaces per level; compact output has no whitespace.
+ */
+std::string dumpJson(const JsonValue &v, bool pretty = false);
 
 } // namespace reqisc::backend
 

@@ -118,6 +118,8 @@ PassManager::run(CompilationUnit &unit) const
         trace.count2QAfter = unit.active().count2Q();
         trace.makespanAfter = unit.metrics.schedule.makespan;
         unit.metrics.passes.push_back(std::move(trace));
+        if (unit.onPass)
+            unit.onPass(unit.metrics.passes.back());
     }
 }
 

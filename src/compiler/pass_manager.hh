@@ -38,6 +38,7 @@
 #ifndef REQISC_COMPILER_PASS_MANAGER_HH
 #define REQISC_COMPILER_PASS_MANAGER_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,15 @@ struct CompilationUnit
      * block-worker count here.
      */
     std::string passNote;
+    /**
+     * Optional observer called after every pass with the trace just
+     * appended to metrics.passes — live per-pass progress for
+     * callers that watch a compile from outside the worker (the
+     * daemon streams these into GET /v1/jobs/{id}). Invoked on the
+     * compiling thread; the callback must do its own
+     * synchronization and must not throw.
+     */
+    std::function<void(const PassTrace &)> onPass;
 
     /** The artifact later stages operate on: routed once it exists. */
     const circuit::Circuit &active() const

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * reqisc-compiled — the compile service as a network daemon, on the
+ * v1 job API (service/api.hh):
+ *
+ *     POST   /v1/jobs           submit a compile job (202 + id)
+ *     GET    /v1/jobs/{id}      status + per-pass progress so far
+ *     GET    /v1/jobs/{id}/result  the full result document
+ *     DELETE /v1/jobs/{id}      cancel (only a still-queued job)
+ *     GET    /healthz           liveness (+ draining flag)
+ *     GET    /metrics           Prometheus exposition (src/obs)
+ *
+ * The daemon is a thin registry over a service::CompileService: a
+ * submission is validated (strict schema, pipeline spec checked up
+ * front), admitted against a bounded queue and per-client token
+ * buckets, and handed to the service with an onPass hook (streaming
+ * per-pass progress into the registry) and an onDone hook (storing
+ * the result). Overload is always an immediate structured 429 with
+ * Retry-After — the daemon never blocks a client on a full queue.
+ *
+ * Graceful drain: beginDrain() makes every new submission a 503
+ * `shutting-down` while queued and running jobs keep going;
+ * waitDrained() returns once none are left. The reqisc-compiled
+ * binary wires SIGTERM to exactly that, then flushes the persistent
+ * caches and the flight recorder — an accepted job is never lost to
+ * a shutdown.
+ */
+
+#ifndef REQISC_DAEMON_DAEMON_HH
+#define REQISC_DAEMON_DAEMON_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "daemon/http.hh"
+#include "service/service.hh"
+
+namespace reqisc::daemon
+{
+
+struct DaemonOptions
+{
+    service::ServiceOptions service;
+    HttpServerOptions http;
+    /**
+     * Admission bound: jobs queued-or-running beyond which POST
+     * /v1/jobs answers 429 `queue-full` (with Retry-After) instead
+     * of enqueueing. 0 disables the bound.
+     */
+    std::size_t maxQueue = 64;
+    /**
+     * Per-client token bucket (0 rate disables quotas): each client
+     * — the `X-Client-Id` header when sent, else the peer address —
+     * accrues `quotaRate` submissions/second up to `quotaBurst`.
+     * An empty bucket answers 429 `quota-exceeded` + Retry-After.
+     */
+    double quotaRate = 0.0;
+    double quotaBurst = 8.0;
+};
+
+/** Registry state of one submitted job. */
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+};
+
+const char *jobStateName(JobState s);
+
+class CompileDaemon
+{
+  public:
+    explicit CompileDaemon(DaemonOptions opts);
+    ~CompileDaemon();
+
+    CompileDaemon(const CompileDaemon &) = delete;
+    CompileDaemon &operator=(const CompileDaemon &) = delete;
+
+    /** Start the HTTP server. False (with error) on bind failure. */
+    bool start(std::string &error);
+
+    /** The bound TCP port. */
+    int port() const { return server_.port(); }
+
+    /** Stop admitting jobs (503 shutting-down); serving continues. */
+    void beginDrain();
+    /** Block until no job is queued or running. */
+    void waitDrained();
+    /** Stop the HTTP server (after draining, normally). */
+    void stop();
+
+    /** Jobs accepted over the daemon's lifetime. */
+    std::uint64_t accepted() const;
+
+    /** The service underneath (cache flush, stats). */
+    service::CompileService &service() { return *svc_; }
+
+  private:
+    struct JobRecord
+    {
+        std::uint64_t id = 0;
+        std::string name;
+        JobState state = JobState::Queued;
+        std::string scheduleStrategy;  //!< label for the result doc
+        /** Pass traces streamed from the worker, in pass order. */
+        std::vector<compiler::PassTrace> progress;
+        service::JobResult result;  //!< filled when Done/Failed
+    };
+
+    struct QuotaBucket
+    {
+        double tokens = 0.0;
+        std::chrono::steady_clock::time_point lastRefill;
+        bool initialized = false;
+    };
+
+    HttpResponse handle(const HttpRequest &req);
+    HttpResponse handleSubmit(const HttpRequest &req);
+    HttpResponse handleStatus(std::uint64_t id);
+    HttpResponse handleResult(std::uint64_t id);
+    HttpResponse handleCancel(std::uint64_t id);
+    HttpResponse handleHealth();
+    HttpResponse handleMetrics();
+
+    /** False + a filled response when the client's bucket is empty. */
+    bool admitQuota(const HttpRequest &req, HttpResponse &res);
+
+    DaemonOptions opts_;
+    std::unique_ptr<service::CompileService> svc_;
+    HttpServer server_;
+
+    mutable std::mutex mu_;
+    std::condition_variable drainedCv_;
+    /**
+     * shared_ptr so the worker-side onPass/onDone closures keep the
+     * record alive independent of map mutations.
+     */
+    std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs_;
+    std::map<std::string, QuotaBucket> quotas_;
+    std::uint64_t accepted_ = 0;
+    std::size_t active_ = 0;  //!< jobs queued or running
+    bool draining_ = false;
+};
+
+} // namespace reqisc::daemon
+
+#endif // REQISC_DAEMON_DAEMON_HH

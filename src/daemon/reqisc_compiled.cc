@@ -1,0 +1,279 @@
+/**
+ * @file
+ * reqisc-compiled — the compile service as a long-running network
+ * daemon (see daemon/daemon.hh for the route table).
+ *
+ *   reqisc-compiled --port 8080 --jobs 4 --cache-dir /var/cache/reqisc
+ *   reqisc-compiled --port 0 --port-file /tmp/port   # ephemeral
+ *
+ * Shutdown: SIGTERM (or SIGINT) starts a graceful drain — the
+ * listener keeps answering but every new submission gets 503
+ * `shutting-down`, queued and running jobs finish, per-client
+ * results stay fetchable until the last in-flight job completes —
+ * then the persistent caches and the flight recorder are flushed
+ * and the process exits 0. An accepted job is never lost to a
+ * shutdown.
+ *
+ * Exit status: 0 clean shutdown, 1 runtime failure (bind error),
+ * 2 usage errors (bad flag, malformed chip file).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "backend/backend.hh"
+#include "backend/json.hh"
+#include "daemon/daemon.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "service/api.hh"
+#include "service/error.hh"
+
+#ifndef REQISC_VERSION
+#define REQISC_VERSION "unknown"
+#endif
+
+namespace
+{
+
+using namespace reqisc;
+
+std::atomic<int> g_signal{0};
+
+void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+}
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: reqisc-compiled [options]\n"
+          "\n"
+          "options:\n"
+          "  --host ADDR           listen address (default: "
+          "127.0.0.1)\n"
+          "  --port N              TCP port; 0 = ephemeral "
+          "(default: 8788)\n"
+          "  --port-file FILE      write the bound port to FILE "
+          "once listening\n"
+          "  --jobs N              compile worker threads; 0 = all "
+          "cores (default: 1)\n"
+          "  --block-workers N     intra-job resynthesis workers "
+          "(default: 1)\n"
+          "  --cache-dir DIR       persist the SU(4) caches in DIR\n"
+          "  --backend FILE        compile every job to the chip "
+          "described by FILE\n"
+          "  --max-queue N         admission bound: reject "
+          "submissions with 429\n"
+          "                        once N jobs are queued or "
+          "running; 0 = unbounded\n"
+          "                        (default: 64)\n"
+          "  --quota-rate R        per-client token bucket: R "
+          "submissions/second\n"
+          "                        (default: 0 = quotas off)\n"
+          "  --quota-burst B       bucket capacity (default: 8)\n"
+          "  --max-body BYTES      reject larger request bodies "
+          "with 413\n"
+          "                        (default: 4194304)\n"
+          "  --http-threads N      HTTP handler threads (default: "
+          "2)\n"
+          "  --flight-dump FILE    write the flight recorder's "
+          "last-events dump\n"
+          "                        on job failure, fatal signal and "
+          "shutdown\n"
+          "  --version             print the version and exit\n"
+          "  --help                this text\n";
+}
+
+struct DaemonCli
+{
+    daemon::DaemonOptions opts;
+    std::string portFile;
+    std::string backendPath;
+    std::string flightDump;
+};
+
+bool
+parseArgs(int argc, char **argv, DaemonCli &cli)
+{
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "reqisc-compiled: missing value for "
+                      << argv[i] << "\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    cli.opts.http.port = 8788;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::cout << "reqisc-compiled " << REQISC_VERSION
+                      << "\n";
+            std::exit(0);
+        } else if (arg == "--host") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.http.host = v;
+        } else if (arg == "--port") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.http.port = std::atoi(v);
+        } else if (arg == "--port-file") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.portFile = v;
+        } else if (arg == "--jobs") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.service.threads = std::atoi(v);
+        } else if (arg == "--block-workers") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.service.blockWorkers = std::atoi(v);
+        } else if (arg == "--cache-dir") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.service.cacheDir = v;
+        } else if (arg == "--backend") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.backendPath = v;
+        } else if (arg == "--max-queue") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.maxQueue =
+                static_cast<std::size_t>(std::atol(v));
+        } else if (arg == "--quota-rate") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.quotaRate = std::atof(v);
+        } else if (arg == "--quota-burst") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.quotaBurst = std::atof(v);
+        } else if (arg == "--max-body") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.http.maxBodyBytes =
+                static_cast<std::size_t>(std::atol(v));
+        } else if (arg == "--http-threads") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.http.handlerThreads = std::atoi(v);
+        } else if (arg == "--flight-dump") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.flightDump = v;
+        } else {
+            std::cerr << "reqisc-compiled: unknown option '" << arg
+                      << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DaemonCli cli;
+    if (!parseArgs(argc, argv, cli)) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    // /metrics must always have numbers: enable the metrics
+    // registry (but not the tracer — span collection grows without
+    // bound and a daemon runs indefinitely).
+    obs::Registry::global().setEnabled(true);
+    if (!cli.flightDump.empty()) {
+        obs::flight::setDumpPath(cli.flightDump);
+        obs::flight::installSignalHandlers();
+    }
+
+    if (!cli.backendPath.empty()) {
+        try {
+            cli.opts.service.backend =
+                std::make_shared<const backend::Backend>(
+                    backend::Backend::fromJsonFile(
+                        cli.backendPath));
+        } catch (const backend::JsonError &e) {
+            // The one startup failure with a structured shape:
+            // report it the way the wire would.
+            const service::ApiError err = service::makeError(
+                service::errc::kBadChipFile, e.what(),
+                cli.backendPath);
+            std::cerr << "reqisc-compiled: [" << err.code << "] "
+                      << err.message << "\n";
+            return 2;
+        }
+    }
+
+    daemon::CompileDaemon d(cli.opts);
+    std::string error;
+    if (!d.start(error)) {
+        std::cerr << "reqisc-compiled: " << error << "\n";
+        return 1;
+    }
+    if (!cli.portFile.empty()) {
+        std::ofstream out(cli.portFile, std::ios::trunc);
+        out << d.port() << "\n";
+        if (!out) {
+            std::cerr << "reqisc-compiled: cannot write --port-file "
+                      << cli.portFile << "\n";
+            return 1;
+        }
+    }
+    std::fprintf(stderr, "reqisc-compiled %s listening on %s:%d\n",
+                 REQISC_VERSION, cli.opts.http.host.c_str(),
+                 d.port());
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (g_signal.load() == 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+
+    // Graceful drain: refuse new work, let accepted work finish,
+    // keep serving status/result polls the whole time.
+    std::fprintf(stderr,
+                 "reqisc-compiled: signal %d, draining...\n",
+                 g_signal.load());
+    d.beginDrain();
+    d.waitDrained();
+    d.stop();
+    d.service().saveCaches();
+    if (!cli.flightDump.empty())
+        obs::flight::dumpNow("shutdown");
+    std::fprintf(stderr, "reqisc-compiled: drained, bye\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "service/error.hh"
+
+#include <utility>
+
+namespace reqisc::service
+{
+
+int
+httpStatusForCode(const std::string &code)
+{
+    if (code == errc::kBadRequest || code == errc::kParseError ||
+        code == errc::kBadPipelineSpec ||
+        code == errc::kBadChipFile)
+        return 400;
+    if (code == errc::kNotFound)
+        return 404;
+    if (code == errc::kMethodNotAllowed)
+        return 405;
+    if (code == errc::kNotReady || code == errc::kNotCancelable ||
+        code == errc::kAlreadyCompleted)
+        return 409;
+    if (code == errc::kCanceled)
+        return 410;
+    if (code == errc::kBodyTooLarge)
+        return 413;
+    if (code == errc::kQueueFull || code == errc::kQuotaExceeded)
+        return 429;
+    if (code == errc::kShuttingDown)
+        return 503;
+    return 500;  // calibrate-failed, internal, anything unknown
+}
+
+ApiError
+makeError(const std::string &code, std::string message,
+          std::string detail)
+{
+    ApiError e;
+    e.code = code;
+    e.httpStatus = httpStatusForCode(code);
+    e.message = std::move(message);
+    e.detail = std::move(detail);
+    return e;
+}
+
+} // namespace reqisc::service

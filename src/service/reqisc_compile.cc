@@ -33,8 +33,11 @@
 #include "compiler/pass_manager.hh"
 #include "isa/assembly.hh"
 #include "isa/schedule.hh"
+#include "circuit/qasm.hh"
 #include "obs/obs.hh"
 #include "obs/trace_json.hh"
+#include "service/api.hh"
+#include "service/error.hh"
 #include "service/service.hh"
 #include "suite/suite.hh"
 
@@ -67,6 +70,7 @@ struct CliOptions
     bool schedule = false;       //!< lower into timed RQISA programs
     isa::Strategy strategy = isa::Strategy::Asap;
     bool emitIsa = false;        //!< dump RQISA assembly (implies schedule)
+    bool emitCircuit = false;    //!< dump compiled circuits (QASM)
     std::string traceOut;        //!< Chrome trace JSON; "" = off
     std::string metricsOut;      //!< Prometheus exposition; "" = off
     std::string logOut;          //!< JSON-lines log file; "" = off
@@ -119,6 +123,10 @@ printUsage(std::ostream &os)
           "(serial|asap|alap)\n"
           "  --emit-isa            print each program's RQISA "
           "assembly (implies --schedule asap)\n"
+          "  --emit-circuit        print each compiled circuit "
+          "(OpenQASM; in --json,\n"
+          "                        the artifact fields of the v1 "
+          "schema)\n"
           "  --trace-out FILE      write a Chrome trace-event JSON "
           "of every\n"
           "                        span (jobs, passes, block tasks, "
@@ -209,7 +217,9 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             compiler::PipelineSpec spec;
             std::string error;
             if (!compiler::parsePipelineSpec(v, spec, error)) {
-                std::cerr << "reqisc-compile: " << error << "\n";
+                std::cerr << "reqisc-compile: ["
+                          << service::errc::kBadPipelineSpec << "] "
+                          << error << "\n";
                 return false;
             }
             if (spec.kind == compiler::PipelineSpec::Kind::Custom) {
@@ -283,6 +293,8 @@ parseArgs(int argc, char **argv, CliOptions &cli)
         } else if (arg == "--emit-isa") {
             cli.emitIsa = true;
             cli.schedule = true;
+        } else if (arg == "--emit-circuit") {
+            cli.emitCircuit = true;
         } else if (arg == "--trace-out") {
             const char *v = value(i);
             if (!v)
@@ -329,8 +341,6 @@ parseArgs(int argc, char **argv, CliOptions &cli)
     }
     return true;
 }
-
-using backend::jsonEscape;
 
 std::string
 fmtDouble(double v, int precision)
@@ -494,7 +504,12 @@ main(int argc, char **argv)
                     backend::Backend::fromJsonFile(
                         cli.backendPath));
         } catch (const backend::JsonError &e) {
-            std::cerr << "reqisc-compile: " << e.what() << "\n";
+            // Same classification the daemon reports on the wire.
+            const service::ApiError err = service::makeError(
+                service::errc::kBadChipFile, e.what(),
+                cli.backendPath);
+            std::cerr << "reqisc-compile: [" << err.code << "] "
+                      << err.message << "\n";
             return 2;
         }
     }
@@ -518,159 +533,70 @@ main(int argc, char **argv)
         svc.pulseCacheStats();
 
     if (cli.json) {
-        std::cout << "{\n  \"jobs\": " << svc.threads()
-                  << ",\n  \"wallSeconds\": " << fmtDouble(wall, 4)
-                  << ",\n  \"circuits\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const service::JobResult &r = results[i];
-            std::cout << "    {\"name\": \"" << jsonEscape(r.name)
-                      << "\", \"ok\": " << (r.ok ? "true" : "false");
-            if (r.ok) {
-                std::cout
-                    << ", \"count2Q\": " << r.metrics.count2Q
-                    << ", \"depth2Q\": " << r.metrics.depth2Q
-                    << ", \"duration\": "
-                    << fmtDouble(r.metrics.duration, 4)
-                    << ", \"distinctSU4\": "
-                    << r.metrics.distinctSU4
-                    << ", \"synthCacheHitRate\": "
-                    << fmtDouble(r.metrics.synthCache.hitRate(), 4)
-                    << ", \"pulseCacheHitRate\": "
-                    << fmtDouble(r.metrics.pulseCache.hitRate(), 4)
-                    << ", \"synthCache\": {\"hits\": "
-                    << r.metrics.synthCache.hits << ", \"misses\": "
-                    << r.metrics.synthCache.misses
-                    << ", \"evictions\": "
-                    << r.metrics.synthCache.evictions
-                    << ", \"solveSeconds\": "
-                    << fmtDouble(r.metrics.synthCache.solveSeconds,
-                                 4)
-                    << "}, \"pulseCache\": {\"hits\": "
-                    << r.metrics.pulseCache.hits << ", \"misses\": "
-                    << r.metrics.pulseCache.misses
-                    << ", \"evictions\": "
-                    << r.metrics.pulseCache.evictions
-                    << ", \"solveSeconds\": "
-                    << fmtDouble(r.metrics.pulseCache.solveSeconds,
-                                 4)
-                    << "}, \"seconds\": " << fmtDouble(r.seconds, 4)
-                    << ", \"passes\": [";
-                for (std::size_t p = 0;
-                     p < r.metrics.passes.size(); ++p) {
-                    const compiler::PassTrace &t =
-                        r.metrics.passes[p];
-                    std::cout
-                        << (p ? ", " : "") << "{\"name\": \""
-                        << jsonEscape(t.pass) << "\", \"seconds\": "
-                        << fmtDouble(t.seconds, 6)
-                        << ", \"gatesBefore\": " << t.gatesBefore
-                        << ", \"gatesAfter\": " << t.gatesAfter
-                        << ", \"count2QBefore\": "
-                        << t.count2QBefore << ", \"count2QAfter\": "
-                        << t.count2QAfter << ", \"makespan\": "
-                        << fmtDouble(t.makespanAfter, 4);
-                    if (!t.note.empty())
-                        std::cout << ", \"note\": \""
-                                  << jsonEscape(t.note) << "\"";
-                    std::cout << "}";
-                }
-                std::cout << "]";
-                if (r.metrics.backend.used) {
-                    const auto &b = r.metrics.backend;
-                    std::cout
-                        << ", \"backend\": {\"routedSwaps\": "
-                        << b.routedSwaps
-                        << ", \"routedSwapsAbsorbed\": "
-                        << b.routedSwapsAbsorbed
-                        << ", \"fidelityReconfigured\": "
-                        << fmtDouble(b.fidelityReconfigured, 6)
-                        << ", \"fidelityUniform\": "
-                        << fmtDouble(b.fidelityUniform, 6) << "}";
-                }
-                if (r.metrics.schedule.scheduled) {
-                    const auto &s = r.metrics.schedule;
-                    // A custom schedule:X token overrides the
-                    // --schedule strategy; report what actually ran.
-                    std::string strat =
-                        isa::strategyName(cli.strategy);
-                    for (const compiler::PassTrace &t :
-                         r.metrics.passes)
-                        if (t.pass.rfind("schedule:", 0) == 0)
-                            strat = t.pass.substr(9);
-                    std::cout
-                        << ", \"schedule\": {\"strategy\": \""
-                        << strat
-                        << "\", \"makespan\": "
-                        << fmtDouble(s.makespan, 4)
-                        << ", \"serialDuration\": "
-                        << fmtDouble(s.serialDuration, 4)
-                        << ", \"parallelism\": "
-                        << fmtDouble(s.parallelism, 4)
-                        << ", \"idleTime\": "
-                        << fmtDouble(s.idleTime, 4)
-                        << ", \"instructions\": " << s.instructions;
-                    if (cli.emitIsa) {
-                        try {
-                            std::cout << ", \"isa\": \""
-                                      << jsonEscape(isa::toAssembly(
-                                             r.program))
-                                      << "\"";
-                        } catch (const std::exception &e) {
-                            std::cout << ", \"isaError\": \""
-                                      << jsonEscape(e.what())
-                                      << "\"";
-                        }
-                    }
-                    std::cout << "}";
-                }
-            } else {
-                std::cout << ", \"error\": \""
-                          << jsonEscape(r.error) << "\"";
-            }
-            std::cout << "}"
-                      << (i + 1 < results.size() ? "," : "") << "\n";
-        }
+        // Every field below goes through the v1 wire schema
+        // (service/api.hh) — the same builders the daemon responds
+        // with, so the CLI and the network agree by construction.
+        using backend::JsonValue;
+        JsonValue doc = JsonValue::makeObject();
+        doc.set("apiVersion",
+                JsonValue::makeNumber(static_cast<double>(
+                    service::api::kApiVersion)));
+        doc.set("jobs", JsonValue::makeNumber(
+                            static_cast<double>(svc.threads())));
+        doc.set("wallSeconds", JsonValue::makeNumber(wall));
+        service::api::ResultEmitOptions emit;
+        emit.artifacts = cli.emitCircuit;
+        emit.isaText = cli.emitIsa;
+        emit.scheduleStrategy = isa::strategyName(cli.strategy);
+        JsonValue circuits = JsonValue::makeArray();
+        for (const service::JobResult &r : results)
+            circuits.push(service::api::jobResultToJson(r, emit));
+        doc.set("circuits", std::move(circuits));
         if (svc.backend()) {
             const backend::Backend &chip = *svc.backend();
             const backend::ReconfigureResult &rc =
                 *svc.reconfiguration();
-            std::cout << "  ],\n  \"backend\": {\"name\": \""
-                      << jsonEscape(chip.name())
-                      << "\", \"qubits\": " << chip.numQubits()
-                      << ", \"uniformGate\": \"" << rc.uniformName
-                      << "\", \"edges\": [\n";
-            for (size_t i = 0; i < rc.table.size(); ++i) {
-                const backend::EdgeInstruction &e = rc.table[i];
-                std::cout
-                    << "    {\"a\": " << e.a << ", \"b\": " << e.b
-                    << ", \"gate\": \"" << e.name
-                    << "\", \"duration\": "
-                    << fmtDouble(e.duration, 4) << ", \"score\": "
-                    << fmtDouble(e.score, 6) << "}"
-                    << (i + 1 < rc.table.size() ? "," : "") << "\n";
+            JsonValue b = JsonValue::makeObject();
+            b.set("name", JsonValue::makeString(chip.name()));
+            b.set("qubits",
+                  JsonValue::makeNumber(
+                      static_cast<double>(chip.numQubits())));
+            b.set("uniformGate",
+                  JsonValue::makeString(rc.uniformName));
+            JsonValue edges = JsonValue::makeArray();
+            for (const backend::EdgeInstruction &e : rc.table) {
+                JsonValue edge = JsonValue::makeObject();
+                edge.set("a", JsonValue::makeNumber(
+                                  static_cast<double>(e.a)));
+                edge.set("b", JsonValue::makeNumber(
+                                  static_cast<double>(e.b)));
+                edge.set("gate", JsonValue::makeString(e.name));
+                edge.set("duration",
+                         JsonValue::makeNumber(e.duration));
+                edge.set("score", JsonValue::makeNumber(e.score));
+                edges.push(std::move(edge));
             }
-            std::cout << "  ]},\n  \"synthCache\": {\"hits\": ";
-        } else {
-            std::cout << "  ],\n  \"synthCache\": {\"hits\": ";
+            b.set("edges", std::move(edges));
+            doc.set("backend", std::move(b));
         }
-        std::cout
-                  << synth_stats.hits << ", \"misses\": "
-                  << synth_stats.misses << ", \"evictions\": "
-                  << synth_stats.evictions << ", \"solveSeconds\": "
-                  << fmtDouble(synth_stats.solveSeconds, 4)
-                  << ", \"entries\": " << svc.synthCacheSize()
-                  << ", \"warmStart\": "
-                  << (svc.synthCacheWarmStarted() ? "true" : "false")
-                  << "},\n  \"pulseCache\": {\"hits\": "
-                  << pulse_stats.hits << ", \"misses\": "
-                  << pulse_stats.misses << ", \"evictions\": "
-                  << pulse_stats.evictions << ", \"solveSeconds\": "
-                  << fmtDouble(pulse_stats.solveSeconds, 4)
-                  << ", \"entries\": " << svc.pulseCacheSize()
-                  << ", \"warmStart\": "
-                  << (svc.pulseCacheWarmStarted() ? "true" : "false")
-                  << "},\n  \"blockWorkers\": " << svc.blockWorkers()
-                  << "\n}\n";
+        auto cacheBlock = [](const compiler::CacheCounters &c,
+                             std::size_t entries, bool warm) {
+            JsonValue o = service::api::cacheCountersToJson(c);
+            o.set("entries", JsonValue::makeNumber(
+                                 static_cast<double>(entries)));
+            o.set("warmStart", JsonValue::makeBool(warm));
+            return o;
+        };
+        doc.set("synthCache",
+                cacheBlock(synth_stats, svc.synthCacheSize(),
+                           svc.synthCacheWarmStarted()));
+        doc.set("pulseCache",
+                cacheBlock(pulse_stats, svc.pulseCacheSize(),
+                           svc.pulseCacheWarmStarted()));
+        doc.set("blockWorkers",
+                JsonValue::makeNumber(
+                    static_cast<double>(svc.blockWorkers())));
+        std::cout << backend::dumpJson(doc, true);
     } else {
         if (svc.backend()) {
             const backend::Backend &chip = *svc.backend();
@@ -743,6 +669,16 @@ main(int argc, char **argv)
                 } catch (const std::exception &e) {
                     std::printf("# cannot emit: %s\n", e.what());
                 }
+            }
+        }
+        if (cli.emitCircuit) {
+            for (const service::JobResult &r : results) {
+                if (!r.ok)
+                    continue;
+                std::printf("\n// --- %s ---\n", r.name.c_str());
+                std::fputs(
+                    circuit::toQasm(r.compiled.circuit).c_str(),
+                    stdout);
             }
         }
         std::printf("\n%zu circuits, %d failed, %d jobs, %.3f s "

@@ -320,6 +320,35 @@ CompileService::waitAll()
     return out;
 }
 
+CompileService::CancelOutcome
+CompileService::cancel(std::uint64_t id)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (id == 0 || id >= nextId_)
+            return CancelOutcome::Unknown;
+        auto it = std::find_if(
+            queue_.begin(), queue_.end(),
+            [id](const Job &j) { return j.id == id; });
+        if (it != queue_.end()) {
+            queue_.erase(it);
+            pending_.erase(id);
+            --inFlight_;
+            serviceMetrics().jobsInflight->set(
+                static_cast<double>(inFlight_));
+        } else if (pending_.count(id)) {
+            return CancelOutcome::Running;
+        } else {
+            return CancelOutcome::Finished;
+        }
+    }
+    // The canceled job may have been the last in-flight one.
+    doneCv_.notify_all();
+    obs::log(obs::LogLevel::Info, "service", "job canceled",
+             {{"id", std::to_string(id)}});
+    return CancelOutcome::Canceled;
+}
+
 void
 CompileService::workerLoop()
 {
@@ -336,14 +365,21 @@ CompileService::workerLoop()
             queue_.pop_front();
         }
         JobResult res = runJob(job);
+        // A request with onDone owns result delivery (the daemon's
+        // job registry): hand the result over outside the lock and
+        // skip the results_ store so it is never double-delivered.
+        const bool deliver = static_cast<bool>(job.req.onDone);
         {
             std::lock_guard<std::mutex> lk(mu_);
             pending_.erase(job.id);
-            results_.emplace(job.id, std::move(res));
+            if (!deliver)
+                results_.emplace(job.id, std::move(res));
             --inFlight_;
             serviceMetrics().jobsInflight->set(
                 static_cast<double>(inFlight_));
         }
+        if (deliver)
+            job.req.onDone(std::move(res));
         doneCv_.notify_all();
     }
 }
@@ -378,7 +414,12 @@ CompileService::runJob(const Job &job)
             input = job.req.input;
         } else {
             obs::Span parseSpan("parse");
-            input = circuit::fromQasm(job.req.qasm);
+            try {
+                input = circuit::fromQasm(job.req.qasm);
+            } catch (const std::exception &e) {
+                throw ApiException(
+                    makeError(errc::kParseError, e.what()));
+            }
         }
         compiler::CompileOptions copts = job.req.options;
         CountingBlockMemo synthMemo(synthCache_.get());
@@ -386,19 +427,16 @@ CompileService::runJob(const Job &job)
             copts.synthMemo = &synthMemo;
         copts.synthPool = blockPool_.get();
 
-        // Resolve which pass list this job runs: the explicit spec
-        // when one is given, the legacy enum otherwise.
+        // One canonical path: the request resolves to a spec string
+        // (pipelineSpec, or the deprecated enum spelled as its name)
+        // and everything goes through the spec grammar.
         compiler::PipelineSpec spec;
         std::string error;
-        if (!job.req.pipelineSpec.empty()) {
-            if (!compiler::parsePipelineSpec(job.req.pipelineSpec,
-                                             spec, error))
-                throw std::invalid_argument(error);
-        } else {
-            spec.kind = job.req.pipeline == Pipeline::Eff
-                            ? compiler::PipelineSpec::Kind::Eff
-                            : compiler::PipelineSpec::Kind::Full;
-        }
+        if (!compiler::parsePipelineSpec(
+                job.req.resolvedPipelineSpec(), spec, error))
+            throw ApiException(
+                makeError(errc::kBadPipelineSpec, error,
+                          job.req.resolvedPipelineSpec()));
 
         // Build unit, assemble the pipeline, run it, copy out.
         compiler::CompilationUnit unit =
@@ -408,6 +446,7 @@ CompileService::runJob(const Job &job)
         unit.reconfig = opts_.backend ? &reconfig_ : nullptr;
         unit.coupling = opts_.coupling;
         unit.scheduleOptions = job.req.scheduleOptions;
+        unit.onPass = job.req.onPass;
 
         compiler::PassManager pm;
         if (spec.kind == compiler::PipelineSpec::Kind::Custom) {
@@ -427,7 +466,8 @@ CompileService::runJob(const Job &job)
             if (job.req.schedule && !has_schedule)
                 literal.passes.push_back("schedule");
             if (!compiler::buildPipeline(literal, copts, pm, error))
-                throw std::invalid_argument(error);
+                throw ApiException(
+                    makeError(errc::kBadPipelineSpec, error));
         } else {
             // Named pipelines: compile stage + the service stages
             // (the former hand-sequenced route -> estimate ->
@@ -444,7 +484,8 @@ CompileService::runJob(const Job &job)
             if (job.req.schedule)
                 staged.passes.push_back("schedule");
             if (!compiler::buildPipeline(staged, copts, pm, error))
-                throw std::invalid_argument(error);
+                throw ApiException(
+                    makeError(errc::kBadPipelineSpec, error));
         }
         pm.run(unit);
 
@@ -472,22 +513,33 @@ CompileService::runJob(const Job &job)
         if (job.req.calibrate && !heterogeneousChip) {
             obs::Span calibrate("calibrate");
             CountingPulseMemo pulseMemo(pulseCache_.get());
-            const uarch::CalibrationPlan plan =
-                uarch::planCalibration(
-                    res.compiled.circuit, opts_.coupling,
-                    opts_.pulseClusterTol,
-                    pulseCache_ ? &pulseMemo : nullptr);
-            res.unsolvedClasses = plan.unsolved;
+            try {
+                const uarch::CalibrationPlan plan =
+                    uarch::planCalibration(
+                        res.compiled.circuit, opts_.coupling,
+                        opts_.pulseClusterTol,
+                        pulseCache_ ? &pulseMemo : nullptr);
+                res.unsolvedClasses = plan.unsolved;
+            } catch (const std::exception &e) {
+                throw ApiException(
+                    makeError(errc::kCalibrateFailed, e.what()));
+            }
             if (pulseCache_)
                 res.metrics.pulseCache = pulseMemo.counters();
         }
         res.ok = true;
+    } catch (const ApiException &e) {
+        res.ok = false;
+        res.errorInfo = e.error();
+        res.error = res.errorInfo.message;
     } catch (const std::exception &e) {
         res.ok = false;
-        res.error = e.what();
+        res.errorInfo = makeError(errc::kInternal, e.what());
+        res.error = res.errorInfo.message;
     } catch (...) {
         res.ok = false;
-        res.error = "unknown error";
+        res.errorInfo = makeError(errc::kInternal, "unknown error");
+        res.error = res.errorInfo.message;
     }
     res.seconds = jobSpan.stop();
     ServiceMetrics &m = serviceMetrics();

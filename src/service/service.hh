@@ -42,6 +42,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include <functional>
+
 #include "backend/backend.hh"
 #include "backend/reconfigure.hh"
 #include "compiler/metrics.hh"
@@ -49,17 +51,25 @@
 #include "isa/program.hh"
 #include "isa/schedule.hh"
 #include "service/cache.hh"
+#include "service/error.hh"
 #include "synth/pool.hh"
 #include "uarch/calibration.hh"
 
 namespace reqisc::service
 {
 
-/** Which end-to-end pipeline a job runs. */
+/**
+ * DEPRECATED alias for the two named pipeline specs. The canonical
+ * pipeline field is CompileRequest::pipelineSpec ("eff", "full" or
+ * "custom:..."); this enum survives only so pre-spec call sites
+ * (`req.pipeline = Pipeline::Eff`) keep compiling. It is consulted
+ * solely by CompileRequest::resolvedPipelineSpec() when pipelineSpec
+ * is empty.
+ */
 enum class Pipeline
 {
-    Eff,   //!< reqiscEff
-    Full,  //!< reqiscFull
+    Eff,   //!< alias for pipelineSpec = "eff"
+    Full,  //!< alias for pipelineSpec = "full"
 };
 
 /** Service-wide configuration (fixed at construction). */
@@ -107,47 +117,23 @@ struct ServiceOptions
     std::shared_ptr<const backend::Backend> backend;
 };
 
-/** One unit of work. */
-struct CompileRequest
-{
-    std::string name;             //!< label echoed in the result
-    circuit::Circuit input;       //!< used unless `qasm` is set
-    std::string qasm;             //!< parsed in the worker when set
-    Pipeline pipeline = Pipeline::Full;
-    /**
-     * Pipeline spec overriding `pipeline` when non-empty: "eff",
-     * "full" or "custom:pass,pass,..." (the pass-manager grammar,
-     * compiler/pass_manager.hh). Custom lists run literally, except
-     * that requested stages missing from the list are appended: an
-     * `estimate` pass always (so JobResult metrics are evaluated)
-     * and a `schedule` pass when `schedule` below is set; named
-     * specs get the service stages (route on a backend, estimate,
-     * reconfigure, schedule when requested) appended automatically.
-     * A malformed spec is captured as the job's error like any
-     * other per-job failure.
-     */
-    std::string pipelineSpec;
-    compiler::CompileOptions options;
-    /** Build the per-circuit calibration plan (shared pulse cache). */
-    bool calibrate = true;
-    /**
-     * Lower the compiled circuit into a timed RQISA program
-     * (JobResult::program) and fill Metrics::schedule. The duration
-     * model's coupling is overridden with the service-wide
-     * ServiceOptions::coupling so timing, pulse solves and metrics
-     * all describe the same device.
-     */
-    bool schedule = false;
-    isa::ScheduleOptions scheduleOptions;
-};
-
 /** Outcome of one job; `ok == false` carries the captured error. */
 struct JobResult
 {
     std::uint64_t id = 0;
     std::string name;
     bool ok = false;
+    /**
+     * Legacy flat error text — exactly errorInfo.message (kept so
+     * pre-structured-error consumers read what they always did).
+     */
     std::string error;
+    /**
+     * Structured failure report: classified code + HTTP status +
+     * message + detail (service/error.hh). Default-constructed
+     * (isError() == false) on success.
+     */
+    ApiError errorInfo;
     compiler::CompileResult compiled;
     /** Incl. per-job cache counters and the per-pass trace. */
     compiler::Metrics metrics;
@@ -167,6 +153,70 @@ struct JobResult
      */
     int unsolvedClasses = 0;
     double seconds = 0.0;            //!< wall time in the worker
+};
+
+/** One unit of work. */
+struct CompileRequest
+{
+    std::string name;             //!< label echoed in the result
+    circuit::Circuit input;       //!< used unless `qasm` is set
+    std::string qasm;             //!< parsed in the worker when set
+    /** DEPRECATED alias; see resolvedPipelineSpec(). */
+    Pipeline pipeline = Pipeline::Full;
+    /**
+     * The canonical pipeline field: "eff", "full" or
+     * "custom:pass,pass,..." (the pass-manager grammar,
+     * compiler/pass_manager.hh). Custom lists run literally, except
+     * that requested stages missing from the list are appended: an
+     * `estimate` pass always (so JobResult metrics are evaluated)
+     * and a `schedule` pass when `schedule` below is set; named
+     * specs get the service stages (route on a backend, estimate,
+     * reconfigure, schedule when requested) appended automatically.
+     * A malformed spec is captured as the job's error like any
+     * other per-job failure. Empty falls back to the deprecated
+     * `pipeline` enum alias above.
+     */
+    std::string pipelineSpec;
+    compiler::CompileOptions options;
+    /** Build the per-circuit calibration plan (shared pulse cache). */
+    bool calibrate = true;
+    /**
+     * Lower the compiled circuit into a timed RQISA program
+     * (JobResult::program) and fill Metrics::schedule. The duration
+     * model's coupling is overridden with the service-wide
+     * ServiceOptions::coupling so timing, pulse solves and metrics
+     * all describe the same device.
+     */
+    bool schedule = false;
+    isa::ScheduleOptions scheduleOptions;
+    /**
+     * Optional per-pass progress observer, invoked on the worker
+     * thread after every executed pass with the trace just recorded
+     * (compiler::CompilationUnit::onPass). Must synchronize itself
+     * and must not throw. Not part of the wire schema.
+     */
+    std::function<void(const compiler::PassTrace &)> onPass;
+    /**
+     * Optional completion callback. When set, the finished JobResult
+     * is handed to this callback on the worker thread *instead of*
+     * being stored for wait()/waitAll() — the submitter owns result
+     * delivery (the daemon's job registry). Must not throw. Jobs
+     * removed by cancel() never invoke it.
+     */
+    std::function<void(JobResult)> onDone;
+
+    /**
+     * The canonical pipeline spec this request runs: pipelineSpec
+     * when non-empty, else the deprecated enum alias spelled as its
+     * spec name. Everything downstream (runJob, the wire schema)
+     * routes through this and compiler::parsePipelineSpec.
+     */
+    std::string resolvedPipelineSpec() const
+    {
+        if (!pipelineSpec.empty())
+            return pipelineSpec;
+        return pipeline == Pipeline::Eff ? "eff" : "full";
+    }
 };
 
 /** The concurrent compilation service. */
@@ -198,6 +248,23 @@ class CompileService
      * not yet taken, in submission order.
      */
     std::vector<JobResult> waitAll();
+
+    /** What cancel(id) found. */
+    enum class CancelOutcome
+    {
+        Canceled,  //!< removed from the queue before any work ran
+        Running,   //!< a worker already owns it; it will finish
+        Finished,  //!< already completed (result stored or delivered)
+        Unknown,   //!< id never issued
+    };
+
+    /**
+     * Best-effort cancellation: a still-queued job is removed (its
+     * onDone is never invoked and wait(id) will throw as for an
+     * unknown id), a running or finished job is left untouched —
+     * compilation is never interrupted mid-pass.
+     */
+    CancelOutcome cancel(std::uint64_t id);
 
     int threads() const { return threads_; }
     /** Effective block-resynthesis workers (>= 1). */
