@@ -148,7 +148,11 @@ CompileDaemon::CompileDaemon(DaemonOptions opts)
 
 CompileDaemon::~CompileDaemon()
 {
-    stop();
+    // Stop serving first, then join the compile workers while the
+    // registry (mu_, jobs_, drainedCv_) is still alive — their
+    // onPass/onDone callbacks lock mu_ up to the very last job.
+    server_.stop();
+    svc_.reset();
 }
 
 bool
@@ -253,21 +257,39 @@ CompileDaemon::handle(const HttpRequest &req)
 }
 
 bool
-CompileDaemon::admitQuota(const HttpRequest &req, HttpResponse &res)
+CompileDaemon::admitQuotaLocked(const HttpRequest &req,
+                                HttpResponse &res)
 {
     if (opts_.quotaRate <= 0.0)
         return true;
-    // The client is whoever says so (X-Client-Id) or the peer IP —
-    // the port changes per connection, so it cannot be the key.
-    std::string key;
+    // The peer IP scopes the key (the port changes per connection),
+    // with the client-supplied X-Client-Id refining it — a header
+    // alone must not mint unaccountable fresh buckets.
+    std::string key = req.peer.substr(0, req.peer.find(':'));
     if (const std::string *cid = req.header("x-client-id"))
-        key = *cid;
-    else
-        key = req.peer.substr(0, req.peer.find(':'));
+        key += '|' + *cid;
 
-    std::lock_guard<std::mutex> lk(mu_);
-    QuotaBucket &b = quotas_[key];
     const auto now = std::chrono::steady_clock::now();
+    // Periodically sweep buckets idle long enough to be full again:
+    // erasing one is indistinguishable from keeping it (a fresh
+    // bucket starts at quotaBurst), and the map stays bounded by the
+    // recent client set instead of every client ever seen.
+    if (++quotaSweep_ >= 256) {
+        quotaSweep_ = 0;
+        for (auto it = quotas_.begin(); it != quotas_.end();) {
+            const double idle =
+                std::chrono::duration<double>(
+                    now - it->second.lastRefill)
+                    .count();
+            if (it->second.tokens + idle * opts_.quotaRate >=
+                opts_.quotaBurst)
+                it = quotas_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    QuotaBucket &b = quotas_[key];
     if (!b.initialized) {
         b.tokens = opts_.quotaBurst;
         b.lastRefill = now;
@@ -297,9 +319,24 @@ CompileDaemon::admitQuota(const HttpRequest &req, HttpResponse &res)
     return false;
 }
 
+void
+CompileDaemon::recordFinishedLocked(std::uint64_t id)
+{
+    if (opts_.maxFinished == 0)
+        return;
+    finishedOrder_.push_back(id);
+    while (finishedOrder_.size() > opts_.maxFinished) {
+        jobs_.erase(finishedOrder_.front());
+        finishedOrder_.pop_front();
+    }
+}
+
 HttpResponse
 CompileDaemon::handleSubmit(const HttpRequest &req)
 {
+    // Fast-path drain rejection before the body is even parsed; the
+    // authoritative check is repeated inside the admission section
+    // below, where it cannot race beginDrain()/waitDrained().
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (draining_) {
@@ -311,9 +348,6 @@ CompileDaemon::handleSubmit(const HttpRequest &req)
             return res;
         }
     }
-    HttpResponse quotaRes;
-    if (!admitQuota(req, quotaRes))
-        return quotaRes;
 
     service::CompileRequest creq;
     try {
@@ -350,6 +384,7 @@ CompileDaemon::handleSubmit(const HttpRequest &req)
             --active_;
             daemonMetrics().activeJobs->set(
                 static_cast<double>(active_));
+            recordFinishedLocked(rec->id);
         }
         (ok ? daemonMetrics().jobsCompleted
             : daemonMetrics().jobsFailed)
@@ -359,10 +394,20 @@ CompileDaemon::handleSubmit(const HttpRequest &req)
 
     std::uint64_t id = 0;
     {
-        // Admission check and submit under one lock so concurrent
-        // submissions cannot both squeeze past the bound; the worker
-        // callbacks block on this mutex until the record is indexed.
+        // Every admission decision and the submit under ONE lock:
+        // concurrent submissions cannot squeeze past the bound, a
+        // submission cannot slip in after waitDrained() observed an
+        // empty registry, and the worker callbacks block on this
+        // mutex until the record is indexed.
         std::lock_guard<std::mutex> lk(mu_);
+        if (draining_) {
+            daemonMetrics().rejectsDraining->inc();
+            HttpResponse res = errorResponse(makeError(
+                errc::kShuttingDown,
+                "daemon is draining; resubmit elsewhere"));
+            res.headers.emplace_back("Retry-After", "1");
+            return res;
+        }
         if (opts_.maxQueue && active_ >= opts_.maxQueue) {
             daemonMetrics().rejectsQueueFull->inc();
             HttpResponse res = errorResponse(makeError(
@@ -372,6 +417,11 @@ CompileDaemon::handleSubmit(const HttpRequest &req)
             res.headers.emplace_back("Retry-After", "1");
             return res;
         }
+        // Quota last: a submission bounced by the drain or the queue
+        // bound must not charge the client's bucket.
+        HttpResponse quotaRes;
+        if (!admitQuotaLocked(req, quotaRes))
+            return quotaRes;
         id = svc_->submit(std::move(creq));
         rec->id = id;
         jobs_.emplace(id, rec);
@@ -483,6 +533,7 @@ CompileDaemon::handleCancel(std::uint64_t id)
         daemonMetrics().activeJobs->set(
             static_cast<double>(active_));
         daemonMetrics().jobsCanceled->inc();
+        recordFinishedLocked(id);
         drainedCv_.notify_all();
         JsonValue doc = JsonValue::makeObject();
         doc.set("apiVersion",

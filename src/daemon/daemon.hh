@@ -32,6 +32,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,12 +57,22 @@ struct DaemonOptions
     std::size_t maxQueue = 64;
     /**
      * Per-client token bucket (0 rate disables quotas): each client
-     * — the `X-Client-Id` header when sent, else the peer address —
-     * accrues `quotaRate` submissions/second up to `quotaBurst`.
-     * An empty bucket answers 429 `quota-exceeded` + Retry-After.
+     * — keyed by peer IP, refined by the `X-Client-Id` header when
+     * sent — accrues `quotaRate` submissions/second up to
+     * `quotaBurst`. An empty bucket answers 429 `quota-exceeded` +
+     * Retry-After. Quota is only charged for admitted submissions;
+     * buckets idle long enough to be full again are swept out.
      */
     double quotaRate = 0.0;
     double quotaBurst = 8.0;
+    /**
+     * Retain at most this many finished (done/failed/canceled) job
+     * records, evicting the oldest-finished beyond the cap — a
+     * long-running daemon must not grow with every job it ever
+     * served. An evicted job's status/result answer 404. 0 keeps
+     * every record forever.
+     */
+    std::size_t maxFinished = 1024;
 };
 
 /** Registry state of one submitted job. */
@@ -131,24 +142,43 @@ class CompileDaemon
     HttpResponse handleHealth();
     HttpResponse handleMetrics();
 
-    /** False + a filled response when the client's bucket is empty. */
-    bool admitQuota(const HttpRequest &req, HttpResponse &res);
+    /**
+     * False + a filled response when the client's bucket is empty.
+     * Requires mu_ held: the token is consumed in the same critical
+     * section that admits the job, so a rejected submission never
+     * charges the bucket.
+     */
+    bool admitQuotaLocked(const HttpRequest &req, HttpResponse &res);
+
+    /** Note a Done/Failed/Canceled id; evicts past maxFinished. */
+    void recordFinishedLocked(std::uint64_t id);
 
     DaemonOptions opts_;
-    std::unique_ptr<service::CompileService> svc_;
-    HttpServer server_;
 
     mutable std::mutex mu_;
     std::condition_variable drainedCv_;
     /**
      * shared_ptr so the worker-side onPass/onDone closures keep the
-     * record alive independent of map mutations.
+     * record alive independent of map mutations (incl. eviction).
      */
     std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs_;
+    /** Finished job ids in completion order, for eviction. */
+    std::deque<std::uint64_t> finishedOrder_;
     std::map<std::string, QuotaBucket> quotas_;
+    std::uint64_t quotaSweep_ = 0;  //!< admissions since last sweep
     std::uint64_t accepted_ = 0;
     std::size_t active_ = 0;  //!< jobs queued or running
     bool draining_ = false;
+
+    /**
+     * Declared after the registry state on purpose: destroying the
+     * service joins workers whose onPass/onDone callbacks lock mu_
+     * and touch jobs_/active_/drainedCv_, so it must die first (the
+     * destructor also resets it explicitly, after stopping the
+     * server).
+     */
+    std::unique_ptr<service::CompileService> svc_;
+    HttpServer server_;
 };
 
 } // namespace reqisc::daemon

@@ -45,7 +45,7 @@ struct HttpRequest
     /** Header fields, names lowercased, in arrival order. */
     std::vector<std::pair<std::string, std::string>> headers;
     std::string body;
-    /** Peer address ("ip:port") — the default quota key. */
+    /** Peer address ("ip:port") — its IP scopes the quota key. */
     std::string peer;
 
     /** Case-insensitive header lookup; nullptr when absent. */

@@ -82,6 +82,11 @@ printUsage(std::ostream &os)
           "submissions/second\n"
           "                        (default: 0 = quotas off)\n"
           "  --quota-burst B       bucket capacity (default: 8)\n"
+          "  --max-finished N      retain at most N finished job "
+          "records, evicting\n"
+          "                        the oldest (status/result then "
+          "404); 0 = keep all\n"
+          "                        (default: 1024)\n"
           "  --max-body BYTES      reject larger request bodies "
           "with 413\n"
           "                        (default: 4194304)\n"
@@ -175,6 +180,12 @@ parseArgs(int argc, char **argv, DaemonCli &cli)
             if (!v)
                 return false;
             cli.opts.quotaBurst = std::atof(v);
+        } else if (arg == "--max-finished") {
+            const char *v = value(i);
+            if (!v)
+                return false;
+            cli.opts.maxFinished =
+                static_cast<std::size_t>(std::atol(v));
         } else if (arg == "--max-body") {
             const char *v = value(i);
             if (!v)

@@ -321,6 +321,99 @@ TEST(DaemonProtocol, QuotaExhaustionIsA429WithRetryAfter)
               202);
 }
 
+TEST(DaemonProtocol, QueueFullRejectionDoesNotChargeQuota)
+{
+    daemon::DaemonOptions opts = baseOptions();
+    opts.maxQueue = 1;
+    opts.quotaRate = 0.001;  // effectively no refill inside the test
+    opts.quotaBurst = 2;
+    Daemon dm(std::move(opts));
+    const int p = dm.port();
+    const Headers client = {{"X-Client-Id", "meter"}};
+
+    // Token 1 of 2: the slow full job fills the queue bound.
+    auto res = http(p, "POST", "/v1/jobs",
+                    jobBody(suiteQasm(), "full", "occupant"), client);
+    ASSERT_EQ(res.status, 202) << res.body;
+    const std::uint64_t occupant = static_cast<std::uint64_t>(
+        parseJson(res.body, "submit").find("id")->number);
+
+    // Bounced by the queue bound — must NOT cost a token.
+    res = http(p, "POST", "/v1/jobs", jobBody(suiteQasm(), "eff"),
+               client);
+    EXPECT_EQ(res.status, 429);
+    EXPECT_EQ(errorCode(res), service::errc::kQueueFull);
+
+    // Token 2 of 2 is therefore still available once the queue
+    // clears...
+    EXPECT_EQ(awaitFinal(p, occupant), "done");
+    res = http(p, "POST", "/v1/jobs",
+               jobBody(suiteQasm(), "eff", "second"), client);
+    EXPECT_EQ(res.status, 202) << res.body;
+    const std::uint64_t second = static_cast<std::uint64_t>(
+        parseJson(res.body, "submit").find("id")->number);
+    EXPECT_EQ(awaitFinal(p, second), "done");
+
+    // ...and only now is the bucket genuinely empty.
+    res = http(p, "POST", "/v1/jobs", jobBody(suiteQasm(), "eff"),
+               client);
+    EXPECT_EQ(res.status, 429);
+    EXPECT_EQ(errorCode(res), service::errc::kQuotaExceeded);
+}
+
+// ---- Finished-record retention -----------------------------------------
+
+TEST(DaemonProtocol, FinishedRecordsEvictPastTheCap)
+{
+    daemon::DaemonOptions opts = baseOptions();
+    opts.maxFinished = 2;
+    Daemon dm(std::move(opts));
+    const int p = dm.port();
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+        ids.push_back(submit(
+            p, jobBody(suiteQasm(), "eff",
+                       "job" + std::to_string(i))));
+        ASSERT_EQ(awaitFinal(p, ids.back()), "done");
+    }
+
+    // The oldest finished record was evicted; the registry answers
+    // 404 for it while the two newest still serve in full.
+    EXPECT_EQ(http(p, "GET",
+                   "/v1/jobs/" + std::to_string(ids[0]))
+                  .status,
+              404);
+    EXPECT_EQ(http(p, "GET",
+                   "/v1/jobs/" + std::to_string(ids[0]) + "/result")
+                  .status,
+              404);
+    for (int i = 1; i < 3; ++i) {
+        const auto res = http(
+            p, "GET",
+            "/v1/jobs/" + std::to_string(ids[i]) + "/result");
+        EXPECT_EQ(res.status, 200);
+        EXPECT_TRUE(
+            parseJson(res.body, "result").find("ok")->boolean);
+    }
+}
+
+// ---- Teardown with work in flight --------------------------------------
+
+TEST(DaemonProtocol, DestructionWithJobsInFlightJoinsSafely)
+{
+    // Destroying the daemon with queued and running jobs must join
+    // the compile workers before any registry state dies — their
+    // onPass/onDone callbacks lock the registry mutex up to the very
+    // last job. No assertions needed: the ASan/TSan jobs fail this
+    // test if teardown touches destroyed state.
+    Daemon dm(baseOptions());
+    const int p = dm.port();
+    submit(p, jobBody(suiteQasm(), "full", "running"));
+    submit(p, jobBody(suiteQasm(), "eff", "queued1"));
+    submit(p, jobBody(suiteQasm(), "eff", "queued2"));
+}
+
 // ---- Graceful drain ----------------------------------------------------
 
 TEST(DaemonProtocol, DrainFinishesInFlightAndRejectsNewWork)
