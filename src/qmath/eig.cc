@@ -1,8 +1,8 @@
 #include "qmath/eig.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <numeric>
 
 namespace reqisc::qmath
 {
@@ -78,19 +78,33 @@ void
 sortEigenpairs(EigResult &r)
 {
     const int n = static_cast<int>(r.values.size());
-    std::vector<int> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
+    // Fixed scratch for the small sizes everything here uses; the
+    // permuted copies stay inline thanks to the Matrix SBO.
+    std::array<int, Matrix::kInlineDim> orderSmall;
+    std::array<double, Matrix::kInlineDim> wSmall;
+    std::vector<int> orderBig;
+    std::vector<double> wBig;
+    int *order = orderSmall.data();
+    double *w = wSmall.data();
+    if (n > Matrix::kInlineDim) {
+        orderBig.resize(n);
+        wBig.resize(n);
+        order = orderBig.data();
+        w = wBig.data();
+    }
+    for (int j = 0; j < n; ++j)
+        order[j] = j;
+    std::sort(order, order + n, [&](int a, int b) {
         return r.values[a] < r.values[b];
     });
-    std::vector<double> w(n);
-    Matrix v(n, n);
+    Matrix v;
+    v.resizeForOverwrite(n, n);
     for (int j = 0; j < n; ++j) {
         w[j] = r.values[order[j]];
         for (int i = 0; i < n; ++i)
             v(i, j) = r.vectors(i, order[j]);
     }
-    r.values = std::move(w);
+    std::copy_n(w, n, r.values.begin());
     r.vectors = std::move(v);
 }
 

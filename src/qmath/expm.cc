@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "qmath/eig.hh"
+#include "qmath/kernels.hh"
 
 namespace reqisc::qmath
 {
@@ -15,10 +16,21 @@ expPhase(const Matrix &h, double t)
 {
     EigResult e = eigh(h);
     const int n = h.rows();
-    Matrix d(n, n);
-    for (int i = 0; i < n; ++i)
-        d(i, i) = std::exp(Complex(0.0, t * e.values[i]));
-    return e.vectors * d * e.vectors.dagger();
+    // V * diag(exp(i t lambda)) is a column scaling — each output
+    // element is the single product the full (diagonal-skipping)
+    // matmul would produce, without the n^3 work or the temporary.
+    Matrix vd;
+    vd.resizeForOverwrite(n, n);
+    for (int j = 0; j < n; ++j) {
+        const Complex p = std::exp(Complex(0.0, t * e.values[j]));
+        for (int i = 0; i < n; ++i)
+            vd(i, j) = e.vectors(i, j) * p;
+    }
+    Matrix vdag;
+    kernels::daggerInto(vdag, e.vectors);
+    Matrix r;
+    kernels::mulInto(r, vd, vdag);
+    return r;
 }
 
 } // namespace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Internal dispatch table between the scalar and SIMD kernel
+ * translation units. Not part of the qmath API — include
+ * qmath/kernels.hh instead.
+ *
+ * Every entry operates on raw row-major Complex storage and obeys the
+ * bit-identity rule documented in kernels.hh: identical per-output
+ * accumulation order on every backend, no FMA contraction (both TUs
+ * build with -ffp-contract=off).
+ */
+
+#ifndef REQISC_QMATH_KERNELS_DETAIL_HH
+#define REQISC_QMATH_KERNELS_DETAIL_HH
+
+#include <cstddef>
+
+#include "qmath/matrix.hh"
+
+namespace reqisc::qmath::kernels::detail
+{
+
+/** Function-pointer table one backend exports. */
+struct SimdOps
+{
+    const char *name;
+    /** r = a * b for square n x n, n in {2, 4, 8}; r never aliases. */
+    void (*mul2)(Complex *r, const Complex *a, const Complex *b);
+    void (*mul4)(Complex *r, const Complex *a, const Complex *b);
+    void (*mul8)(Complex *r, const Complex *a, const Complex *b);
+    /** r = kron(a, b) with every element written (no zero skip). */
+    void (*kronSmall)(Complex *r, const Complex *a, int ar, int ac,
+                      const Complex *b, int br, int bc);
+    /** r (cols x rows) = conj-transpose of a (rows x cols). */
+    void (*dagger)(Complex *r, const Complex *a, int rows, int cols);
+    /** y[k] += s * x[k] for k < n. */
+    void (*axpy)(Complex *y, const Complex &s, const Complex *x,
+                 std::size_t n);
+    /** x[k] *= s for k < n. */
+    void (*scale)(Complex *x, const Complex &s, std::size_t n);
+};
+
+#ifdef REQISC_SIMD_AVX2
+/** The AVX2 table (kernels_avx2.cc); linked only when compiled in. */
+const SimdOps &avx2Ops();
+/** Startup CPU check — false on x86_64 hardware without AVX2. */
+bool avx2Supported();
+#endif
+
+} // namespace reqisc::qmath::kernels::detail
+
+#endif // REQISC_QMATH_KERNELS_DETAIL_HH

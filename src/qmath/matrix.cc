@@ -4,29 +4,97 @@
 #include <cmath>
 #include <sstream>
 
+#include "qmath/kernels.hh"
 #include "qmath/svd.hh"
 
 namespace reqisc::qmath
 {
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
-    : rows_(static_cast<int>(rows.size())),
-      cols_(rows.size() ? static_cast<int>(rows.begin()->size()) : 0)
+void
+Matrix::resizeForOverwrite(int rows, int cols)
 {
-    data_.reserve(static_cast<size_t>(rows_) * cols_);
+    assert(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    const size_t n = size();
+    if (n <= kInlineCap) {
+        data_ = sbo_;
+    } else {
+        if (heap_.size() < n)
+            heap_.resize(n);
+        data_ = heap_.data();
+    }
+}
+
+void
+Matrix::setZero(int rows, int cols)
+{
+    resizeForOverwrite(rows, cols);
+    std::fill_n(data_, size(), Complex(0.0, 0.0));
+}
+
+void
+Matrix::setIdentity(int n)
+{
+    setZero(n, n);
+    for (int i = 0; i < n; ++i)
+        data_[static_cast<size_t>(i) * n + i] = Complex(1.0, 0.0);
+}
+
+void
+Matrix::assignCopy(const Matrix &o)
+{
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    const size_t n = size();
+    if (n <= kInlineCap) {
+        std::copy_n(o.data_, n, sbo_);
+        data_ = sbo_;
+    } else {
+        heap_.assign(o.data_, o.data_ + n);
+        data_ = heap_.data();
+    }
+}
+
+void
+Matrix::assignMove(Matrix &&o) noexcept
+{
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    const size_t n = size();
+    if (n <= kInlineCap) {
+        // Inline payloads are copied; the source stays valid as-is.
+        std::copy_n(o.data_, n, sbo_);
+        data_ = sbo_;
+    } else {
+        heap_ = std::move(o.heap_);
+        data_ = heap_.data();
+        o.rows_ = 0;
+        o.cols_ = 0;
+        o.data_ = o.sbo_;
+    }
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+    : rows_(0), cols_(0)
+{
+    const int r = static_cast<int>(rows.size());
+    const int c = rows.size()
+        ? static_cast<int>(rows.begin()->size()) : 0;
+    resizeForOverwrite(r, c);
+    Complex *out = data_;
     for (const auto &row : rows) {
         assert(static_cast<int>(row.size()) == cols_);
         for (const auto &v : row)
-            data_.push_back(v);
+            *out++ = v;
     }
 }
 
 Matrix
 Matrix::identity(int n)
 {
-    Matrix m(n, n);
-    for (int i = 0; i < n; ++i)
-        m(i, i) = 1.0;
+    Matrix m;
+    m.setIdentity(n);
     return m;
 }
 
@@ -34,8 +102,9 @@ Matrix
 Matrix::operator+(const Matrix &o) const
 {
     assert(rows_ == o.rows_ && cols_ == o.cols_);
-    Matrix r(rows_, cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
+    Matrix r;
+    r.resizeForOverwrite(rows_, cols_);
+    for (size_t k = 0; k < size(); ++k)
         r.data_[k] = data_[k] + o.data_[k];
     return r;
 }
@@ -44,8 +113,9 @@ Matrix
 Matrix::operator-(const Matrix &o) const
 {
     assert(rows_ == o.rows_ && cols_ == o.cols_);
-    Matrix r(rows_, cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
+    Matrix r;
+    r.resizeForOverwrite(rows_, cols_);
+    for (size_t k = 0; k < size(); ++k)
         r.data_[k] = data_[k] - o.data_[k];
     return r;
 }
@@ -53,29 +123,16 @@ Matrix::operator-(const Matrix &o) const
 Matrix
 Matrix::operator*(const Matrix &o) const
 {
-    assert(cols_ == o.rows_);
-    Matrix r(rows_, o.cols_);
-    for (int i = 0; i < rows_; ++i) {
-        for (int k = 0; k < cols_; ++k) {
-            const Complex aik = (*this)(i, k);
-            if (aik == Complex(0.0, 0.0))
-                continue;
-            const Complex *brow = &o.data_[static_cast<size_t>(k) *
-                                           o.cols_];
-            Complex *rrow = &r.data_[static_cast<size_t>(i) * o.cols_];
-            for (int j = 0; j < o.cols_; ++j)
-                rrow[j] += aik * brow[j];
-        }
-    }
+    Matrix r;
+    kernels::mulInto(r, *this, o);
     return r;
 }
 
 Matrix
 Matrix::operator*(const Complex &s) const
 {
-    Matrix r(rows_, cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
-        r.data_[k] = data_[k] * s;
+    Matrix r(*this);
+    kernels::scaleInPlace(r, s);
     return r;
 }
 
@@ -83,7 +140,7 @@ Matrix &
 Matrix::operator+=(const Matrix &o)
 {
     assert(rows_ == o.rows_ && cols_ == o.cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
+    for (size_t k = 0; k < size(); ++k)
         data_[k] += o.data_[k];
     return *this;
 }
@@ -92,7 +149,7 @@ Matrix &
 Matrix::operator-=(const Matrix &o)
 {
     assert(rows_ == o.rows_ && cols_ == o.cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
+    for (size_t k = 0; k < size(); ++k)
         data_[k] -= o.data_[k];
     return *this;
 }
@@ -100,25 +157,23 @@ Matrix::operator-=(const Matrix &o)
 Matrix &
 Matrix::operator*=(const Complex &s)
 {
-    for (auto &v : data_)
-        v *= s;
+    kernels::scaleInPlace(*this, s);
     return *this;
 }
 
 Matrix
 Matrix::dagger() const
 {
-    Matrix r(cols_, rows_);
-    for (int i = 0; i < rows_; ++i)
-        for (int j = 0; j < cols_; ++j)
-            r(j, i) = std::conj((*this)(i, j));
+    Matrix r;
+    kernels::daggerInto(r, *this);
     return r;
 }
 
 Matrix
 Matrix::transpose() const
 {
-    Matrix r(cols_, rows_);
+    Matrix r;
+    r.resizeForOverwrite(cols_, rows_);
     for (int i = 0; i < rows_; ++i)
         for (int j = 0; j < cols_; ++j)
             r(j, i) = (*this)(i, j);
@@ -128,8 +183,9 @@ Matrix::transpose() const
 Matrix
 Matrix::conjugate() const
 {
-    Matrix r(rows_, cols_);
-    for (size_t k = 0; k < data_.size(); ++k)
+    Matrix r;
+    r.resizeForOverwrite(rows_, cols_);
+    for (size_t k = 0; k < size(); ++k)
         r.data_[k] = std::conj(data_[k]);
     return r;
 }
@@ -137,29 +193,19 @@ Matrix::conjugate() const
 Complex
 Matrix::trace() const
 {
-    assert(rows_ == cols_);
-    Complex t(0.0, 0.0);
-    for (int i = 0; i < rows_; ++i)
-        t += (*this)(i, i);
-    return t;
+    return kernels::trace(*this);
 }
 
 double
 Matrix::frobeniusNorm() const
 {
-    double s = 0.0;
-    for (const auto &v : data_)
-        s += std::norm(v);
-    return std::sqrt(s);
+    return kernels::frobeniusNorm(*this);
 }
 
 double
 Matrix::maxAbs() const
 {
-    double m = 0.0;
-    for (const auto &v : data_)
-        m = std::max(m, std::abs(v));
-    return m;
+    return kernels::maxAbs(*this);
 }
 
 bool
@@ -167,7 +213,7 @@ Matrix::approxEqual(const Matrix &o, double tol) const
 {
     if (rows_ != o.rows_ || cols_ != o.cols_)
         return false;
-    for (size_t k = 0; k < data_.size(); ++k)
+    for (size_t k = 0; k < size(); ++k)
         if (std::abs(data_[k] - o.data_[k]) > tol)
             return false;
     return true;
@@ -181,7 +227,7 @@ Matrix::approxEqualUpToPhase(const Matrix &o, double tol) const
     // Find the largest entry of o to estimate the relative phase.
     size_t kmax = 0;
     double best = -1.0;
-    for (size_t k = 0; k < data_.size(); ++k) {
+    for (size_t k = 0; k < size(); ++k) {
         if (std::abs(o.data_[k]) > best) {
             best = std::abs(o.data_[k]);
             kmax = k;
@@ -194,7 +240,7 @@ Matrix::approxEqualUpToPhase(const Matrix &o, double tol) const
     if (mag < 1e-14)
         return false;
     phase /= mag;
-    for (size_t k = 0; k < data_.size(); ++k)
+    for (size_t k = 0; k < size(); ++k)
         if (std::abs(data_[k] - phase * o.data_[k]) > tol)
             return false;
     return true;
@@ -237,16 +283,8 @@ Matrix::toString(int precision) const
 Matrix
 kron(const Matrix &a, const Matrix &b)
 {
-    Matrix r(a.rows() * b.rows(), a.cols() * b.cols());
-    for (int i = 0; i < a.rows(); ++i)
-        for (int j = 0; j < a.cols(); ++j) {
-            const Complex aij = a(i, j);
-            if (aij == Complex(0.0, 0.0))
-                continue;
-            for (int k = 0; k < b.rows(); ++k)
-                for (int l = 0; l < b.cols(); ++l)
-                    r(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
-        }
+    Matrix r;
+    kernels::kronInto(r, a, b);
     return r;
 }
 
@@ -255,8 +293,11 @@ kronAll(const std::vector<Matrix> &factors)
 {
     assert(!factors.empty());
     Matrix r = factors.front();
-    for (size_t i = 1; i < factors.size(); ++i)
-        r = kron(r, factors[i]);
+    Matrix tmp;
+    for (size_t i = 1; i < factors.size(); ++i) {
+        kernels::kronInto(tmp, r, factors[i]);
+        std::swap(r, tmp);
+    }
     return r;
 }
 
@@ -301,8 +342,8 @@ kronFactor2x2(const Matrix &m, Matrix &a, Matrix &b)
     SvdResult s = svd(r);
     const double sigma = s.s[0];
     const double sq = std::sqrt(sigma);
-    a = Matrix(2, 2);
-    b = Matrix(2, 2);
+    a.resizeForOverwrite(2, 2);
+    b.resizeForOverwrite(2, 2);
     // vec(a) = sqrt(sigma) * u_0, vec(b) = sqrt(sigma) * conj(v_0).
     a(0, 0) = s.u(0, 0) * sq; a(0, 1) = s.u(1, 0) * sq;
     a(1, 0) = s.u(2, 0) * sq; a(1, 1) = s.u(3, 0) * sq;

@@ -37,19 +37,50 @@ inline constexpr double kDefaultTol = 1e-10;
 /**
  * Row-major dense complex matrix.
  *
- * Sized at runtime; all hot paths in ReQISC use n <= 64 so no effort is
- * spent on blocking or vectorization beyond what -O2 provides.
+ * Sized at runtime, with small-buffer-optimized storage: matrices up
+ * to kInlineDim x kInlineDim (8x8 — every gate and synthesis block)
+ * live inline with no heap allocation; only the 2^n x 2^n simulator
+ * unitaries spill to the heap. The element-wise operators and
+ * *, kron() and dagger() route through the fixed-size fast kernels in
+ * qmath/kernels.hh (SIMD when built with REQISC_SIMD, bit-identical
+ * scalar otherwise); hot loops that want zero temporaries use the
+ * destination-passing kernels::*Into entry points directly.
  */
 class Matrix
 {
   public:
+    /** Largest dimension stored inline (and kernel-specialized). */
+    static constexpr int kInlineDim = 8;
+
     Matrix() : rows_(0), cols_(0) {}
 
-    Matrix(int rows, int cols)
-        : rows_(rows), cols_(cols),
-          data_(static_cast<size_t>(rows) * cols, Complex(0.0, 0.0))
+    Matrix(int rows, int cols) : rows_(0), cols_(0)
     {
         assert(rows >= 0 && cols >= 0);
+        setZero(rows, cols);
+    }
+
+    Matrix(const Matrix &o) : rows_(0), cols_(0) { assignCopy(o); }
+
+    Matrix(Matrix &&o) noexcept : rows_(0), cols_(0)
+    {
+        assignMove(std::move(o));
+    }
+
+    Matrix &
+    operator=(const Matrix &o)
+    {
+        if (this != &o)
+            assignCopy(o);
+        return *this;
+    }
+
+    Matrix &
+    operator=(Matrix &&o) noexcept
+    {
+        if (this != &o)
+            assignMove(std::move(o));
+        return *this;
     }
 
     /** Build from a nested initializer list (row by row). */
@@ -63,7 +94,22 @@ class Matrix
 
     int rows() const { return rows_; }
     int cols() const { return cols_; }
-    bool empty() const { return data_.empty(); }
+    size_t size() const { return static_cast<size_t>(rows_) * cols_; }
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Reshape without initializing: after the call the contents are
+     * unspecified and the caller overwrites every element. Reuses the
+     * inline buffer / existing heap capacity, so destination-passing
+     * kernels can recycle a matrix with no allocation.
+     */
+    void resizeForOverwrite(int rows, int cols);
+
+    /** Reshape to an all-zero rows x cols matrix, reusing storage. */
+    void setZero(int rows, int cols);
+
+    /** Reshape to the n x n identity, reusing storage. */
+    void setIdentity(int n);
 
     Complex &
     operator()(int i, int j)
@@ -80,8 +126,8 @@ class Matrix
     }
 
     /** Raw storage access (row-major), used by the simulators. */
-    Complex *data() { return data_.data(); }
-    const Complex *data() const { return data_.data(); }
+    Complex *data() { return data_; }
+    const Complex *data() const { return data_; }
 
     Matrix operator+(const Matrix &o) const;
     Matrix operator-(const Matrix &o) const;
@@ -128,9 +174,17 @@ class Matrix
     std::string toString(int precision = 4) const;
 
   private:
+    static constexpr size_t kInlineCap =
+        static_cast<size_t>(kInlineDim) * kInlineDim;
+
+    void assignCopy(const Matrix &o);
+    void assignMove(Matrix &&o) noexcept;
+
     int rows_;
     int cols_;
-    std::vector<Complex> data_;
+    Complex *data_ = sbo_;     //!< sbo_ or heap_.data()
+    std::vector<Complex> heap_;
+    alignas(32) Complex sbo_[kInlineCap];
 };
 
 inline Matrix

@@ -1,8 +1,8 @@
 #include "qmath/svd.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <numeric>
 
 namespace reqisc::qmath
 {
@@ -58,38 +58,46 @@ svd(const Matrix &a)
             break;
     }
 
-    SvdResult r;
-    r.s.resize(n);
-    r.u = Matrix(n, n);
-    r.v = v;
+    // Column norms of U*Sigma are the singular values. Fixed scratch
+    // for the small sizes synthesis uses (the Matrix temporaries are
+    // already inline via the small-buffer optimization; the result's
+    // std::vector s is the one remaining allocation).
+    std::array<double, Matrix::kInlineDim> nrmSmall;
+    std::array<int, Matrix::kInlineDim> orderSmall;
+    std::vector<double> nrmBig;
+    std::vector<int> orderBig;
+    double *nrm = nrmSmall.data();
+    int *order = orderSmall.data();
+    if (n > Matrix::kInlineDim) {
+        nrmBig.resize(n);
+        orderBig.resize(n);
+        nrm = nrmBig.data();
+        order = orderBig.data();
+    }
     for (int j = 0; j < n; ++j) {
-        double nrm = 0.0;
+        double s2 = 0.0;
         for (int i = 0; i < n; ++i)
-            nrm += std::norm(u(i, j));
-        nrm = std::sqrt(nrm);
-        r.s[j] = nrm;
-        if (nrm > 1e-300) {
-            for (int i = 0; i < n; ++i)
-                r.u(i, j) = u(i, j) / nrm;
-        }
+            s2 += std::norm(u(i, j));
+        nrm[j] = std::sqrt(s2);
+        order[j] = j;
     }
 
-    // Sort singular values descending, permuting u and v columns.
-    std::vector<int> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int x, int y) {
-        return r.s[x] > r.s[y];
-    });
+    // Sort singular values descending, permuting u and v columns
+    // (normalizing u's as they land).
+    std::sort(order, order + n,
+              [&](int x, int y) { return nrm[x] > nrm[y]; });
     SvdResult out;
     out.s.resize(n);
-    out.u = Matrix(n, n);
-    out.v = Matrix(n, n);
+    out.u.setZero(n, n);
+    out.v.resizeForOverwrite(n, n);
     for (int j = 0; j < n; ++j) {
-        out.s[j] = r.s[order[j]];
-        for (int i = 0; i < n; ++i) {
-            out.u(i, j) = r.u(i, order[j]);
-            out.v(i, j) = r.v(i, order[j]);
-        }
+        const int src = order[j];
+        out.s[j] = nrm[src];
+        for (int i = 0; i < n; ++i)
+            out.v(i, j) = v(i, src);
+        if (nrm[src] > 1e-300)
+            for (int i = 0; i < n; ++i)
+                out.u(i, j) = u(i, src) / nrm[src];
     }
 
     // Complete zero columns of u into an orthonormal basis so u is

@@ -1,12 +1,16 @@
 #include "synth/instantiate.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "qmath/kernels.hh"
 #include "qmath/svd.hh"
 
 namespace reqisc::synth
 {
+
+namespace kernels = qmath::kernels;
 
 Slot
 Slot::free2Q(int a, int b)
@@ -38,18 +42,19 @@ Slot::fixed(std::vector<int> qubits, Matrix m)
     return s;
 }
 
-Matrix
-liftGate(const Matrix &g, const std::vector<int> &qubits,
-         int num_qubits)
+void
+liftGateInto(Matrix &out, const Matrix &g,
+             const std::vector<int> &qubits, int num_qubits)
 {
     const int k = static_cast<int>(qubits.size());
     const int dim = 1 << num_qubits;
     const int sub = 1 << k;
     assert(g.rows() == sub);
-    std::vector<int> shift(k);
+    assert(k <= 4);
+    std::array<int, 4> shift{};
     for (int i = 0; i < k; ++i)
         shift[i] = num_qubits - 1 - qubits[i];
-    Matrix out(dim, dim);
+    out.setZero(dim, dim);
     for (int r = 0; r < dim; ++r) {
         // Decompose the row index into pair bits + rest.
         int rp = 0;
@@ -66,6 +71,14 @@ liftGate(const Matrix &g, const std::vector<int> &qubits,
             out(r, c) = g(rp, cp);
         }
     }
+}
+
+Matrix
+liftGate(const Matrix &g, const std::vector<int> &qubits,
+         int num_qubits)
+{
+    Matrix out;
+    liftGateInto(out, g, qubits, num_qubits);
     return out;
 }
 
@@ -75,22 +88,24 @@ namespace
 /**
  * Partial trace of E over all qubits except `qubits`:
  * F[p, q] = sum_rest E[(q,rest), (p,rest)] arranged so the optimal
- * free gate is the polar factor of F^dagger.
+ * free gate is the polar factor of F^dagger. Destination-passing:
+ * `f`'s storage is reused across sweeps.
  */
-Matrix
-environment(const Matrix &e, const std::vector<int> &qubits,
-            int num_qubits)
+void
+environmentInto(Matrix &f, const Matrix &e,
+                const std::vector<int> &qubits, int num_qubits)
 {
     const int k = static_cast<int>(qubits.size());
     const int dim = 1 << num_qubits;
     const int sub = 1 << k;
-    std::vector<int> shift(k);
+    assert(k <= 4);
+    std::array<int, 4> shift{};
     for (int i = 0; i < k; ++i)
         shift[i] = num_qubits - 1 - qubits[i];
     int mask = 0;
     for (int i = 0; i < k; ++i)
         mask |= (1 << shift[i]);
-    std::vector<int> offs(sub);
+    std::array<int, 16> offs{};
     for (int s = 0; s < sub; ++s) {
         int o = 0;
         for (int i = 0; i < k; ++i)
@@ -98,7 +113,7 @@ environment(const Matrix &e, const std::vector<int> &qubits,
                 o |= (1 << shift[i]);
         offs[s] = o;
     }
-    Matrix f(sub, sub);
+    f.setZero(sub, sub);
     for (int base = 0; base < dim; ++base) {
         if (base & mask)
             continue;
@@ -106,7 +121,6 @@ environment(const Matrix &e, const std::vector<int> &qubits,
             for (int q = 0; q < sub; ++q)
                 f(q, p) += e(base | offs[q], base | offs[p]);
     }
-    return f;
 }
 
 } // namespace
@@ -123,6 +137,13 @@ instantiate(const Matrix &target, int num_qubits,
     InstantiateResult best;
     qmath::Rng rng(opts.seed);
 
+    const Matrix tdag = target.dagger();
+    // Sweep scratch, hoisted so the inner loops run allocation-free:
+    // every matrix here is recycled via the *Into kernels.
+    std::vector<Matrix> lifted(m);
+    std::vector<Matrix> after(m + 1);
+    Matrix before, tmp, bt, e, f, udag;
+
     for (int restart = 0; restart < std::max(1, opts.restarts);
          ++restart) {
         std::vector<Slot> slots = structure;
@@ -135,40 +156,42 @@ instantiate(const Matrix &target, int num_qubits,
                         1 << s.qubits.size(), rng);
         }
 
-        const Matrix tdag = target.dagger();
         double last = 2.0;
         int sweep = 0;
         double infid = 1.0;
         for (; sweep < opts.maxSweeps; ++sweep) {
             // Lift all slot matrices once per sweep.
-            std::vector<Matrix> lifted(m);
             for (size_t i = 0; i < m; ++i)
-                lifted[i] = liftGate(slots[i].value,
-                                     slots[i].qubits, num_qubits);
+                liftGateInto(lifted[i], slots[i].value,
+                             slots[i].qubits, num_qubits);
             // Suffix products: after[i] = G_{m-1} ... G_{i+1}.
-            std::vector<Matrix> after(m + 1);
-            after[m] = Matrix::identity(dim);
+            after[m].setIdentity(dim);
             for (int i = static_cast<int>(m) - 1; i >= 0; --i)
-                after[i] = after[i + 1] * lifted[i];
+                kernels::mulInto(after[i], after[i + 1], lifted[i]);
             // Walk forward keeping before = G_{i-1} ... G_0.
-            Matrix before = Matrix::identity(dim);
+            before.setIdentity(dim);
             for (size_t i = 0; i < m; ++i) {
                 if (slots[i].kind == Slot::Kind::Free) {
                     // E = before * tdag * after_{i+1}; optimal gate
                     // maximizes Re Tr(G_lift * E).
-                    const Matrix e = before * tdag * after[i + 1];
-                    const Matrix f =
-                        environment(e, slots[i].qubits, num_qubits);
+                    kernels::mulInto(bt, before, tdag);
+                    kernels::mulInto(e, bt, after[i + 1]);
+                    environmentInto(f, e, slots[i].qubits,
+                                    num_qubits);
                     qmath::SvdResult sv = qmath::svd(f);
                     // G = V U^dagger gives Tr(G F) = sum of singular
                     // values (max over unitaries).
-                    slots[i].value = sv.v * sv.u.dagger();
-                    lifted[i] = liftGate(slots[i].value,
-                                         slots[i].qubits, num_qubits);
+                    kernels::daggerInto(udag, sv.u);
+                    kernels::mulInto(slots[i].value, sv.v, udag);
+                    liftGateInto(lifted[i], slots[i].value,
+                                 slots[i].qubits, num_qubits);
                 }
-                before = lifted[i] * before;
+                kernels::mulInto(tmp, lifted[i], before);
+                std::swap(before, tmp);
             }
-            const Complex tr = (tdag * before).trace();
+            // Same accumulation order as (tdag * before).trace(),
+            // at n^2 instead of n^3 work.
+            const Complex tr = kernels::mulTrace(tdag, before);
             infid = 1.0 - std::abs(tr) / dim;
             if (infid < opts.tol)
                 break;

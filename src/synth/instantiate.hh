@@ -73,6 +73,13 @@ InstantiateResult instantiate(const Matrix &target, int num_qubits,
 Matrix liftGate(const Matrix &g, const std::vector<int> &qubits,
                 int num_qubits);
 
+/**
+ * Destination-passing liftGate: reuses `out`'s storage, so the sweep
+ * loop lifts every slot with zero allocations once warm.
+ */
+void liftGateInto(Matrix &out, const Matrix &g,
+                  const std::vector<int> &qubits, int num_qubits);
+
 } // namespace reqisc::synth
 
 #endif // REQISC_SYNTH_INSTANTIATE_HH

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "circuit/lower.hh"
+#include "qmath/kernels.hh"
 #include "qmath/optimize.hh"
 #include "weyl/su2.hh"
 #include "weyl/weyl.hh"
@@ -271,10 +272,16 @@ twoBasisByCoordMatch(int a, int b, const Matrix &u, const Gate &proto)
 {
     const Matrix bm = proto.matrix();
     const weyl::WeylCoord target = weyl::weylCoordinate(u);
-    auto middle = [&](const std::vector<double> &t) {
+    // Objective scratch, reused across the thousands of Nelder-Mead
+    // evaluations below (destination-passing kernels, no temporaries).
+    Matrix kk, bk, mid;
+    auto middle = [&](const std::vector<double> &t) -> const Matrix & {
         const Matrix k1 = weyl::u3Matrix(t[0], t[1], t[2]);
         const Matrix k2 = weyl::u3Matrix(t[3], t[4], t[5]);
-        return bm * kron(k1, k2) * bm;
+        qmath::kernels::kronInto(kk, k1, k2);
+        qmath::kernels::mulInto(bk, bm, kk);
+        qmath::kernels::mulInto(mid, bk, bm);
+        return mid;
     };
     auto objective = [&](const std::vector<double> &t) {
         return weyl::weylCoordinate(middle(t)).distance(target);

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "qmath/expm.hh"
+#include "qmath/kernels.hh"
 #include "qmath/optimize.hh"
 
 namespace reqisc::uarch
@@ -172,11 +173,19 @@ GateScheme::solveEa(double tau, const weyl::WeylCoord &eff, bool plus,
 
     const Complex t_target = targetTrace(eff);
 
+    // Solver-loop scratch: the Hamiltonian is assembled in place
+    // (axpy) and the trace taken without forming expim(h) * yy, so
+    // each Newton residual evaluation allocates nothing new.
+    Matrix h;
+    auto hamAt = [&](double omega, double delta) -> const Matrix & {
+        h = hc;
+        qmath::kernels::axpyInPlace(h, Complex(omega, 0.0), xdrive);
+        qmath::kernels::axpyInPlace(h, Complex(delta, 0.0), zz_drive);
+        return h;
+    };
     auto traceOf = [&](double omega, double delta) {
-        Matrix h = hc + xdrive * Complex(omega, 0.0) +
-                   zz_drive * Complex(delta, 0.0);
-        Matrix v = qmath::expim(h, tau) * yy;
-        return v.trace();
+        return qmath::kernels::mulTrace(
+            qmath::expim(hamAt(omega, delta), tau), yy);
     };
     auto residual = [&](const std::vector<double> &p) {
         const Complex d = traceOf(p[0], p[1]) - t_target;
@@ -219,9 +228,7 @@ GateScheme::solveEa(double tau, const weyl::WeylCoord &eff, bool plus,
         // Near chamber corners the coordinate map has square-root
         // sensitivity, so accept a looser bound here and polish
         // below.
-        const Matrix ev = qmath::expim(
-            hc + xdrive * Complex(r.x[0], 0.0) +
-                zz_drive * Complex(r.x[1], 0.0), tau);
+        const Matrix ev = qmath::expim(hamAt(r.x[0], r.x[1]), tau);
         weyl::WeylCoord got = weyl::weylCoordinate(ev);
         weyl::WeylCoord effc = eff;
         // Compare in canonicalized form: the effective coordinate may
@@ -251,9 +258,7 @@ GateScheme::solveEa(double tau, const weyl::WeylCoord &eff, bool plus,
         weyl::WeylCoord effcan =
             weyl::weylCoordinate(weyl::canonicalGate(eff));
         auto coordDist = [&](double w, double d) {
-            const Matrix ev = qmath::expim(
-                hc + xdrive * Complex(w, 0.0) +
-                    zz_drive * Complex(d, 0.0), tau);
+            const Matrix ev = qmath::expim(hamAt(w, d), tau);
             return weyl::weylCoordinate(ev).distance(effcan);
         };
         double w = plus ? best.omega2 : best.omega1;
